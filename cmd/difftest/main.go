@@ -1,0 +1,40 @@
+// Command difftest runs the §6.1 differential-testing campaign: all 21
+// release tests on both kernel flavours, comparing console outputs. It
+// prints the campaign table and exits non-zero if any test's result does
+// not match its expectation (16 identical, 5 legitimately differing).
+//
+// Usage:
+//
+//	difftest [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ticktock/internal/difftest"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print both outputs for differing tests")
+	flag.Parse()
+
+	rows, err := difftest.RunAll()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "difftest: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(difftest.Table(rows))
+	if *verbose {
+		for _, r := range rows {
+			if r.Equal {
+				continue
+			}
+			fmt.Printf("\n--- %s (ticktock) ---\n%s--- %s (tock) ---\n%s", r.Name, r.TickTock, r.Name, r.Tock)
+		}
+	}
+	if s := difftest.Summarize(rows); s.Unexpected > 0 {
+		os.Exit(1)
+	}
+}

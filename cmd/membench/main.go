@@ -1,0 +1,34 @@
+// Command membench regenerates the paper's §6.2 memory-usage
+// microbenchmark: a process grows its memory one byte at a time until the
+// kernel refuses, on TickTock, Tock, and TickTock padded to match Tock's
+// total allocation.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ticktock/internal/membench"
+)
+
+func main() {
+	rows, err := membench.RunAll()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "membench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("Memory microbenchmark (§6.2): grow-by-1-byte-until-failure")
+	fmt.Print(membench.Table(rows))
+
+	rv, err := membench.RunAllRISCV()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "membench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("\nRISC-V chips (PMP granularity comparison):")
+	rvRows := make([]membench.Result, 0, len(rv))
+	for _, r := range rv {
+		rvRows = append(rvRows, r.Result)
+	}
+	fmt.Print(membench.Table(rvRows))
+}

@@ -1,0 +1,41 @@
+// Command rvcampaign runs the RISC-V release-test campaign (the paper's
+// §6.1 QEMU runs): a subset of the upstream applications on all three
+// supported RV32 chips, verifying every app runs to its expected
+// completion.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ticktock/internal/rvkernel"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print each app's console output")
+	flag.Parse()
+
+	rows, err := rvkernel.RunAllChips()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rvcampaign: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-16s %-16s %-10s %s\n", "chip", "app", "state", "verdict")
+	failed := 0
+	for _, r := range rows {
+		verdict := "ok"
+		if !r.Completed() {
+			verdict = "FAILED"
+			failed++
+		}
+		fmt.Printf("%-16s %-16s %-10s %s\n", r.Chip, r.App, r.State, verdict)
+		if *verbose && r.Output != "" {
+			fmt.Printf("    %q\n", r.Output)
+		}
+	}
+	fmt.Printf("\n%d runs, %d failed\n", len(rows), failed)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

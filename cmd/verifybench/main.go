@@ -1,0 +1,67 @@
+// Command verifybench regenerates the paper's Figure 12: the time the
+// bounded checker takes to discharge every proof obligation, per suite —
+// the monolithic abstraction (dominated by the entangled
+// allocate_app_mem_region obligation), the granular redesign, and the
+// interrupt/context-switch models.
+//
+// Usage:
+//
+//	verifybench [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ticktock/internal/specs"
+	"ticktock/internal/verify"
+)
+
+func row(name string, rep *verify.Report) {
+	s := rep.Stats()
+	fmt.Printf("%-24s %6d %12s %12s %12s %12s\n",
+		name, s.Fns, s.Total.Round(time.Millisecond), s.Max.Round(time.Millisecond),
+		s.Mean.Round(time.Microsecond), s.StdDev.Round(time.Microsecond))
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "use the reduced domain scale")
+	parallel := flag.Int("parallel", 0, "check obligations with N workers (0 = sequential, the Figure 12 timing mode)")
+	flag.Parse()
+	sc := specs.PaperScale
+	if *quick {
+		sc = specs.QuickScale
+	}
+
+	fmt.Printf("%-24s %6s %12s %12s %12s %12s\n", "Component", "Fns.", "Total", "Max", "Mean", "StdDev")
+
+	check := func(r *verify.Registry) *verify.Report {
+		if *parallel > 0 {
+			return r.RunParallel(*parallel)
+		}
+		return r.Run()
+	}
+	mono := check(specs.BuildMonolithic(sc))
+	row("TickTock (Monolithic)", mono)
+	gran := check(specs.BuildGranular(sc))
+	row("TickTock (Granular)", gran)
+	intr := check(specs.BuildInterrupts(sc))
+	row("Interrupts", intr)
+
+	bad := 0
+	for _, rep := range []*verify.Report{mono, gran, intr} {
+		for _, f := range rep.Failed() {
+			fmt.Fprintf(os.Stderr, "VIOLATION %s: %v\n", f.Spec.Name, f.Violations[0])
+			bad++
+		}
+	}
+
+	slow := mono.Slowest(1)[0]
+	frac := float64(slow.Elapsed) / float64(mono.Stats().Total) * 100
+	fmt.Printf("\nslowest monolithic obligation: %s (%.0f%% of suite time)\n", slow.Spec.Name, frac)
+	if bad > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,77 @@
+// DMA-safety: reproduce the paper's §4.6 DMA hazard and TickTock's fix.
+// The legacy TakeCell pattern lets a driver take its buffer back while the
+// DMA engine is still writing it (torn data, aliased ownership); the
+// DMACell interface makes that impossible — placement yields the only
+// value the engine accepts, and retrieval is refused until the transfer
+// completes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ticktock/internal/armv7m"
+	"ticktock/internal/dma"
+)
+
+func main() {
+	mem := armv7m.NewMemory()
+	if _, err := mem.Map("ram", 0x2000_0000, 0x1_0000); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== legacy TakeCell (the hazard) ===")
+	{
+		e := dma.NewEngine(mem)
+		var cell dma.TakeCell
+		buf := dma.Buffer{Addr: 0x2000_0100, Len: 8}
+		cell.Put(buf)
+		if err := e.ConfigureRaw(buf.Addr, buf.Len, 0xFF); err != nil {
+			log.Fatal(err)
+		}
+		if err := e.Advance(4); err != nil { // transfer half done
+			log.Fatal(err)
+		}
+		got, _ := cell.Take() // nothing stops this
+		half, _ := mem.LoadByte(got.Addr + 2)
+		tail, _ := mem.LoadByte(got.Addr + 6)
+		fmt.Printf("driver took the buffer mid-transfer: byte[2]=0x%02x byte[6]=0x%02x (torn!)\n", half, tail)
+		if err := e.Advance(4); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("...and the engine kept writing memory the driver now owns")
+	}
+
+	fmt.Println("\n=== DMACell (the fix) ===")
+	{
+		e := dma.NewEngine(mem)
+		var cell dma.Cell
+		w, err := cell.Place(dma.Buffer{Addr: 0x2000_0200, Len: 8})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := e.Configure(w, 0x5A); err != nil {
+			log.Fatal(err)
+		}
+		if err := e.Advance(4); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := cell.Completed(); err != nil {
+			fmt.Printf("mid-transfer retrieval refused: %v\n", err)
+		}
+		if err := e.Advance(4); err != nil {
+			log.Fatal(err)
+		}
+		got, err := cell.Completed()
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, _ := mem.LoadByte(got.Addr + 6)
+		fmt.Printf("after completion the buffer comes back whole: byte[6]=0x%02x\n", b)
+
+		// And the engine's safe path rejects raw integers entirely.
+		if err := e.Configure(dma.Wrapper{}, 0); err != nil {
+			fmt.Printf("forged wrapper rejected: %v\n", err)
+		}
+	}
+}

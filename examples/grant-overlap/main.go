@@ -1,0 +1,122 @@
+// Grant-overlap: reproduce the paper's headline MPU-configuration bug
+// (tock#4366, §3.4) end to end. The monolithic allocator's overlap
+// readjustment doubles region_size but not mem_size_po2, so for certain
+// process geometries the last enabled subregion still covers the
+// kernel-owned grant region.
+//
+// The program searches process geometries for one where the buggy
+// kernel's hardware-enabled span overlaps the grant region, then runs the
+// same grant-reading application on three kernels:
+//
+//  1. Tock with the bug — the process reads kernel grant memory;
+//  2. Tock with the upstream fix — MemManage fault;
+//  3. TickTock — the geometry cannot even be constructed unsafely: the
+//     granular allocator derives the kernel view from the hardware view,
+//     so the checker-verified invariant appBreak < kernelBreak holds.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ticktock"
+	"ticktock/internal/apps"
+	"ticktock/internal/armv7m"
+	"ticktock/internal/kernel"
+)
+
+// grantReader reads the word at its kernel break (the first grant byte)
+// and reports whether the read survived.
+func grantReader(minRAM, initRAM, hint uint32) ticktock.App {
+	return ticktock.App{
+		Name: "grantreader", MinRAM: minRAM, InitRAM: initRAM, Stack: 512, KernelHint: hint,
+		Build: func(base uint32) *armv7m.Program {
+			a := armv7m.NewAssembler(base)
+			// kernelBreak = appBreak + grantFree.
+			apps.Syscall(a, kernel.SVCMemop, kernel.MemopAppBreak, 0, 0, 0)
+			a.Emit(armv7m.MovReg{Rd: armv7m.R4, Rm: armv7m.R0})
+			apps.Syscall(a, kernel.SVCMemop, kernel.MemopGrantFree, 0, 0, 0)
+			a.Emit(armv7m.Add{Rd: armv7m.R4, Rn: armv7m.R4, Rm: armv7m.R0}).
+				Emit(armv7m.Ldr{Rt: armv7m.R5, Rn: armv7m.R4, Imm: 0})
+			apps.Puts(a, "READ KERNEL GRANT MEMORY\n")
+			apps.Exit(a, 0)
+			return a.MustAssemble()
+		},
+	}
+}
+
+// tryGeometry runs the reader on one kernel build and reports the outcome.
+func tryGeometry(opts ticktock.Options, minRAM, initRAM, hint uint32) (state string, escaped bool, err error) {
+	k, err := ticktock.NewKernel(opts)
+	if err != nil {
+		return "", false, err
+	}
+	p, err := k.LoadProcess(grantReader(minRAM, initRAM, hint))
+	if err != nil {
+		return "load-failed: " + err.Error(), false, nil
+	}
+	if _, err := k.Run(500); err != nil {
+		return "", false, err
+	}
+	out := k.Output(p)
+	return p.State.String(), p.State.String() == "exited" && len(out) > 0, nil
+}
+
+func main() {
+	buggy := ticktock.Options{Flavour: ticktock.FlavourTock, Bugs: ticktock.BugSet{GrantOverlap: true}}
+	fixed := ticktock.Options{Flavour: ticktock.FlavourTock}
+	granular := ticktock.Options{Flavour: ticktock.FlavourTickTock}
+
+	// Search geometries: the bug needs the enabled-subregion end to spill
+	// past the kernel break after the (insufficient) readjustment.
+	var minRAM, initRAM, hint uint32
+	found := false
+	for _, init := range []uint32{1600, 2048, 2496, 3008, 3520} {
+		for _, h := range []uint32{340, 520, 1000, 1200} {
+			for _, min := range []uint32{init + h, init + h + 600} {
+				state, escaped, err := tryGeometry(buggy, min, init, h)
+				if err != nil {
+					log.Fatal(err)
+				}
+				_ = state
+				if escaped {
+					minRAM, initRAM, hint = min, init, h
+					found = true
+				}
+				if found {
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if found {
+			break
+		}
+	}
+	if !found {
+		fmt.Println("no overlapping geometry in the search domain (bug may need a wider sweep)")
+		return
+	}
+	fmt.Printf("counterexample geometry: minRAM=%d initRAM=%d grantHint=%d\n\n", minRAM, initRAM, hint)
+
+	for _, tc := range []struct {
+		name string
+		opts ticktock.Options
+	}{
+		{"Tock with tock#4366 (grant overlap)", buggy},
+		{"Tock with the upstream fix", fixed},
+		{"TickTock (verified granular kernel)", granular},
+	} {
+		state, escaped, err := tryGeometry(tc.opts, minRAM, initRAM, hint)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "isolation held"
+		if escaped {
+			verdict = "ISOLATION BROKEN: process read grant memory"
+		}
+		fmt.Printf("=== %s ===\nprocess state: %s — %s\n\n", tc.name, state, verdict)
+	}
+}

@@ -1,0 +1,103 @@
+// Sensornet: a multi-application workload of the kind Tock's introduction
+// motivates — a sensor sampler, an aggregator receiving readings over IPC,
+// and a heartbeat blinker — all isolated from each other, scheduled
+// preemptively, and running on the TickTock kernel.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ticktock"
+	"ticktock/internal/apps"
+	"ticktock/internal/armv7m"
+	"ticktock/internal/kernel"
+)
+
+// aggregator (process 0) allows an RW buffer and waits for a reading.
+func aggregator() ticktock.App {
+	return ticktock.App{
+		Name: "aggregator", MinRAM: 8192, InitRAM: 2048, Stack: 1024, KernelHint: 512,
+		Build: func(base uint32) *armv7m.Program {
+			a := armv7m.NewAssembler(base)
+			a.Emit(armv7m.MovReg{Rd: armv7m.R4, Rm: armv7m.R0}).
+				Emit(armv7m.AddImm{Rd: armv7m.R4, Rn: armv7m.R4, Imm: 1600})
+			a.Emit(armv7m.MovImm{Rd: armv7m.R0, Imm: kernel.DriverIPC}).
+				Emit(armv7m.MovReg{Rd: armv7m.R1, Rm: armv7m.R4}).
+				Emit(armv7m.MovImm{Rd: armv7m.R2, Imm: 8}).
+				Emit(armv7m.SVC{Imm: kernel.SVCAllowRW})
+			apps.Syscall(a, kernel.SVCCommand, kernel.DriverAlarm, 1, 120000, 0)
+			a.Emit(armv7m.SVC{Imm: kernel.SVCYield})
+			apps.Puts(a, "aggregated reading: 0x")
+			a.Emit(armv7m.Ldr{Rt: armv7m.R5, Rn: armv7m.R4})
+			apps.PutHex(a, armv7m.R5)
+			apps.Puts(a, "\n")
+			apps.Exit(a, 0)
+			return a.MustAssemble()
+		},
+	}
+}
+
+// sampler reads the temperature sensor and ships the reading to the
+// aggregator through the kernel's checked IPC copy.
+func sampler() ticktock.App {
+	return ticktock.App{
+		Name: "sampler", MinRAM: 8192, InitRAM: 2048, Stack: 1024, KernelHint: 512,
+		Build: func(base uint32) *armv7m.Program {
+			a := armv7m.NewAssembler(base)
+			a.Emit(armv7m.MovReg{Rd: armv7m.R4, Rm: armv7m.R0}).
+				Emit(armv7m.AddImm{Rd: armv7m.R4, Rn: armv7m.R4, Imm: 1600})
+			// reading = temp sensor value, stored into the IPC buffer.
+			apps.Syscall(a, kernel.SVCCommand, kernel.DriverTemp, 0, 0, 0)
+			a.Emit(armv7m.Str{Rt: armv7m.R0, Rn: armv7m.R4})
+			a.Emit(armv7m.MovImm{Rd: armv7m.R0, Imm: kernel.DriverIPC}).
+				Emit(armv7m.MovReg{Rd: armv7m.R1, Rm: armv7m.R4}).
+				Emit(armv7m.MovImm{Rd: armv7m.R2, Imm: 8}).
+				Emit(armv7m.SVC{Imm: kernel.SVCAllowRO})
+			apps.Syscall(a, kernel.SVCCommand, kernel.DriverIPC, 0, 0, 0)
+			apps.Puts(a, "sampler: reading shipped\n")
+			apps.Exit(a, 0)
+			return a.MustAssemble()
+		},
+	}
+}
+
+// heartbeat blinks an LED forever; preemption keeps it from starving the
+// others.
+func heartbeat() ticktock.App {
+	return ticktock.App{
+		Name: "heartbeat", MinRAM: 8192, InitRAM: 2048, Stack: 1024, KernelHint: 512,
+		Build: func(base uint32) *armv7m.Program {
+			a := armv7m.NewAssembler(base)
+			a.Label("loop")
+			apps.Syscall(a, kernel.SVCCommand, kernel.DriverLED, 0, 0, 0)
+			apps.Syscall(a, kernel.SVCCommand, kernel.DriverAlarm, 1, 20000, 0)
+			a.Emit(armv7m.SVC{Imm: kernel.SVCYield})
+			a.BTo(armv7m.AL, "loop")
+			return a.MustAssemble()
+		},
+	}
+}
+
+func main() {
+	k, err := ticktock.NewKernel(ticktock.Options{Flavour: ticktock.FlavourTickTock, Timeslice: 5000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var procs []*ticktock.Process
+	for _, app := range []ticktock.App{aggregator(), sampler(), heartbeat()} {
+		p, err := k.LoadProcess(app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		procs = append(procs, p)
+	}
+	if _, err := k.Run(200); err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range procs {
+		fmt.Printf("--- %s [%s]\n%s", p.Name, p.State, k.Output(p))
+	}
+	fmt.Printf("\nLEDs: %v, SysTick preemptions: %d, cycles: %d\n",
+		k.LEDs, k.Board.Machine.Tick.Fired, k.Meter().Cycles())
+}

@@ -1,0 +1,3 @@
+module ticktock
+
+go 1.22

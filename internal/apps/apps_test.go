@@ -1,0 +1,54 @@
+package apps
+
+import (
+	"testing"
+
+	"ticktock/internal/armv7m"
+)
+
+func TestAllCasesAssemble(t *testing.T) {
+	for _, tc := range All() {
+		for _, app := range tc.Apps {
+			p := app.Build(0x0004_0040)
+			if len(p.Instrs) == 0 {
+				t.Fatalf("%s/%s: empty program", tc.Name, app.Name)
+			}
+			if p.Base != 0x0004_0040 {
+				t.Fatalf("%s: wrong base", app.Name)
+			}
+			// Rebuilding at a different base must keep the same length
+			// (the loader relies on this for slot sizing).
+			q := app.Build(0x0008_0000)
+			if len(q.Instrs) != len(p.Instrs) {
+				t.Fatalf("%s: length varies with base: %d vs %d", app.Name, len(p.Instrs), len(q.Instrs))
+			}
+		}
+	}
+}
+
+func TestCaseMetadata(t *testing.T) {
+	seen := map[string]bool{}
+	for _, tc := range All() {
+		if tc.Name == "" || len(tc.Apps) == 0 {
+			t.Fatalf("malformed case %+v", tc)
+		}
+		if seen[tc.Name] {
+			t.Fatalf("duplicate case %s", tc.Name)
+		}
+		seen[tc.Name] = true
+		for _, app := range tc.Apps {
+			if app.InitRAM > app.MinRAM || app.Stack > app.InitRAM {
+				t.Fatalf("%s/%s: inconsistent RAM geometry", tc.Name, app.Name)
+			}
+		}
+	}
+}
+
+func TestPutHexEmitsUniqueLabels(t *testing.T) {
+	a := armv7m.NewAssembler(0x100)
+	PutHex(a, armv7m.R4)
+	PutHex(a, armv7m.R5) // second expansion must not collide
+	if _, err := a.Assemble(); err != nil {
+		t.Fatalf("label collision: %v", err)
+	}
+}

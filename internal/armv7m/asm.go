@@ -1,0 +1,83 @@
+package armv7m
+
+import "fmt"
+
+// Assembler builds a Program with symbolic labels, resolving branch
+// targets to absolute addresses at Assemble time. User applications in
+// internal/apps are written against this builder.
+type Assembler struct {
+	base   uint32
+	instrs []Instr
+	labels map[string]uint32
+	fixups []fixup
+}
+
+type fixup struct {
+	index int
+	label string
+}
+
+// NewAssembler starts a program at the given flash base address.
+func NewAssembler(base uint32) *Assembler {
+	return &Assembler{base: base, labels: make(map[string]uint32)}
+}
+
+// PC returns the address of the next emitted instruction.
+func (a *Assembler) PC() uint32 { return a.base + uint32(4*len(a.instrs)) }
+
+// Label defines a label at the current position.
+func (a *Assembler) Label(name string) *Assembler {
+	a.labels[name] = a.PC()
+	return a
+}
+
+// Emit appends a fully-resolved instruction.
+func (a *Assembler) Emit(in Instr) *Assembler {
+	a.instrs = append(a.instrs, in)
+	return a
+}
+
+// BTo emits a conditional branch to a label resolved at Assemble time.
+func (a *Assembler) BTo(cond Cond, label string) *Assembler {
+	a.fixups = append(a.fixups, fixup{index: len(a.instrs), label: label})
+	a.instrs = append(a.instrs, B{Cond: cond})
+	return a
+}
+
+// BLTo emits a branch-and-link to a label.
+func (a *Assembler) BLTo(label string) *Assembler {
+	a.fixups = append(a.fixups, fixup{index: len(a.instrs), label: label})
+	a.instrs = append(a.instrs, BL{})
+	return a
+}
+
+// Assemble resolves fixups and returns the program.
+func (a *Assembler) Assemble() (*Program, error) {
+	for _, f := range a.fixups {
+		addr, ok := a.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("armv7m: undefined label %q", f.label)
+		}
+		switch in := a.instrs[f.index].(type) {
+		case B:
+			in.Addr = addr
+			a.instrs[f.index] = in
+		case BL:
+			in.Addr = addr
+			a.instrs[f.index] = in
+		default:
+			return nil, fmt.Errorf("armv7m: fixup on non-branch at %d", f.index)
+		}
+	}
+	return &Program{Base: a.base, Instrs: a.instrs}, nil
+}
+
+// MustAssemble is Assemble that panics on error; for statically-known
+// programs in tests and internal/apps.
+func (a *Assembler) MustAssemble() *Program {
+	p, err := a.Assemble()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,154 @@
+package armv7m
+
+import "fmt"
+
+// Mode is the CPU execution mode (ARMv7-M B1.4.1). Exceptions execute in
+// Handler mode, which is always privileged; everything else is Thread mode.
+type Mode uint8
+
+const (
+	// ModeThread is normal execution (kernel main loop or user process).
+	ModeThread Mode = iota
+	// ModeHandler is exception handler execution.
+	ModeHandler
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == ModeHandler {
+		return "handler"
+	}
+	return "thread"
+}
+
+// CONTROL register bits (B1.4.4).
+const (
+	// ControlNPriv: Thread mode is unprivileged when set.
+	ControlNPriv = 1 << 0
+	// ControlSPSel: Thread mode uses PSP when set.
+	ControlSPSel = 1 << 1
+)
+
+// PSR condition flag bits.
+const (
+	FlagN = 1 << 31
+	FlagZ = 1 << 30
+	FlagC = 1 << 29
+	FlagV = 1 << 28
+)
+
+// IPSRMask extracts the exception number from PSR.
+const IPSRMask = 0x1FF
+
+// EXC_RETURN magic link-register values (B1.5.8).
+const (
+	// ExcReturnHandler returns to Handler mode on MSP.
+	ExcReturnHandler = 0xFFFF_FFF1
+	// ExcReturnThreadMSP returns to Thread mode on MSP.
+	ExcReturnThreadMSP = 0xFFFF_FFF9
+	// ExcReturnThreadPSP returns to Thread mode on PSP.
+	ExcReturnThreadPSP = 0xFFFF_FFFD
+)
+
+// IsExcReturn reports whether v is one of the EXC_RETURN magic values.
+func IsExcReturn(v uint32) bool {
+	return v == ExcReturnHandler || v == ExcReturnThreadMSP || v == ExcReturnThreadPSP
+}
+
+// GPR names general-purpose registers r0..r12.
+type GPR uint8
+
+// Register name constants.
+const (
+	R0 GPR = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+)
+
+// CPU holds the architectural register state of the core: thirteen general
+// registers, the two banked stack pointers, link register, program counter,
+// program status register, and CONTROL. It matches the Arm7 state record
+// the paper's FluxArm semantics models (Figure 7).
+type CPU struct {
+	R       [13]uint32
+	MSP     uint32 // main stack pointer (kernel / handlers)
+	PSP     uint32 // process stack pointer
+	LR      uint32
+	PC      uint32
+	PSR     uint32
+	Control uint32
+	Mode    Mode
+}
+
+// Privileged reports whether the core currently executes with privileged
+// access rights: Handler mode always, Thread mode unless CONTROL.nPRIV.
+func (c *CPU) Privileged() bool {
+	if c.Mode == ModeHandler {
+		return true
+	}
+	return c.Control&ControlNPriv == 0
+}
+
+// SP returns the active stack pointer value.
+func (c *CPU) SP() uint32 {
+	if c.usesPSP() {
+		return c.PSP
+	}
+	return c.MSP
+}
+
+// SetSP writes the active stack pointer.
+func (c *CPU) SetSP(v uint32) {
+	if c.usesPSP() {
+		c.PSP = v
+	} else {
+		c.MSP = v
+	}
+}
+
+func (c *CPU) usesPSP() bool {
+	return c.Mode == ModeThread && c.Control&ControlSPSel != 0
+}
+
+// Flag reports whether a PSR condition flag is set.
+func (c *CPU) Flag(bit uint32) bool { return c.PSR&bit != 0 }
+
+// SetFlags updates the N and Z flags from result, and C/V explicitly.
+func (c *CPU) SetFlags(result uint32, carry, overflow bool) {
+	psr := c.PSR &^ (FlagN | FlagZ | FlagC | FlagV)
+	if result&(1<<31) != 0 {
+		psr |= FlagN
+	}
+	if result == 0 {
+		psr |= FlagZ
+	}
+	if carry {
+		psr |= FlagC
+	}
+	if overflow {
+		psr |= FlagV
+	}
+	c.PSR = psr
+}
+
+// ExceptionNumber returns the IPSR field (0 in Thread mode).
+func (c *CPU) ExceptionNumber() uint32 { return c.PSR & IPSRMask }
+
+// String formats a register dump for fault diagnostics.
+func (c *CPU) String() string {
+	return fmt.Sprintf("pc=0x%08x sp=0x%08x lr=0x%08x mode=%s priv=%v r0=0x%08x r1=0x%08x",
+		c.PC, c.SP(), c.LR, c.Mode, c.Privileged(), c.R[R0], c.R[R1])
+}
+
+// Snapshot returns a copy of the register state.
+func (c *CPU) Snapshot() CPU { return *c }

@@ -1,0 +1,22 @@
+package armv7m
+
+import "ticktock/internal/cycles"
+
+// Meter is the shared cycle accumulator; re-exported so existing call
+// sites keep reading naturally.
+type Meter = cycles.Meter
+
+// Cycle cost aliases into the shared model.
+const (
+	CostALU       = cycles.ALU
+	CostMul       = cycles.Mul
+	CostDiv       = cycles.Div
+	CostLoad      = cycles.Load
+	CostStore     = cycles.Store
+	CostBranch    = cycles.Branch
+	CostCall      = cycles.Call
+	CostMMIO      = cycles.MMIO
+	CostBarrier   = cycles.Barrier
+	CostException = cycles.Exception
+	CostMSR       = cycles.MSR
+)

@@ -1,0 +1,18 @@
+package armv7m
+
+import "ticktock/internal/physmem"
+
+// The physical memory model lives in internal/physmem so the RV32 machine
+// can share it; these aliases keep the armv7m API self-contained.
+
+// Memory is the chip's physical address space.
+type Memory = physmem.Memory
+
+// Segment is a contiguous backed range.
+type Segment = physmem.Segment
+
+// BusError reports an access to unmapped physical memory.
+type BusError = physmem.BusError
+
+// NewMemory returns an empty address space.
+func NewMemory() *Memory { return physmem.NewMemory() }

@@ -1,0 +1,140 @@
+package armv7m
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func mustMap(t *testing.T, m *Memory, name string, base, size uint32) *Segment {
+	t.Helper()
+	seg, err := m.Map(name, base, size)
+	if err != nil {
+		t.Fatalf("Map(%s): %v", name, err)
+	}
+	return seg
+}
+
+func TestMemoryMapRejectsOverlap(t *testing.T) {
+	m := NewMemory()
+	mustMap(t, m, "flash", 0x0000_0000, 0x1000)
+	if _, err := m.Map("bad", 0x0800, 0x1000); err == nil {
+		t.Fatal("overlapping Map succeeded")
+	}
+	if _, err := m.Map("ok", 0x1000, 0x1000); err != nil {
+		t.Fatalf("adjacent Map failed: %v", err)
+	}
+}
+
+func TestMemoryMapRejectsZeroSizeAndWrap(t *testing.T) {
+	m := NewMemory()
+	if _, err := m.Map("zero", 0, 0); err == nil {
+		t.Fatal("zero-size Map succeeded")
+	}
+	if _, err := m.Map("wrap", 0xFFFF_FF00, 0x200); err == nil {
+		t.Fatal("wrapping Map succeeded")
+	}
+}
+
+func TestMemoryWordRoundTrip(t *testing.T) {
+	m := NewMemory()
+	mustMap(t, m, "ram", 0x2000_0000, 0x1000)
+	if err := m.WriteWord(0x2000_0010, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.ReadWord(0x2000_0010)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xDEADBEEF {
+		t.Fatalf("got 0x%08x", v)
+	}
+	// Little-endian byte order.
+	b, err := m.LoadByte(0x2000_0010)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 0xEF {
+		t.Fatalf("low byte = 0x%02x, want 0xEF", b)
+	}
+}
+
+func TestMemoryUnmappedAccessIsBusError(t *testing.T) {
+	m := NewMemory()
+	mustMap(t, m, "ram", 0x2000_0000, 0x100)
+	var be *BusError
+	if _, err := m.ReadWord(0x3000_0000); !errors.As(err, &be) {
+		t.Fatalf("want BusError, got %v", err)
+	}
+	// A word straddling the segment end is also a bus error.
+	if _, err := m.ReadWord(0x2000_00FE); !errors.As(err, &be) {
+		t.Fatalf("straddling read: want BusError, got %v", err)
+	}
+	if err := m.WriteWord(0x2000_00FE, 1); !errors.As(err, &be) {
+		t.Fatalf("straddling write: want BusError, got %v", err)
+	}
+}
+
+func TestMemorySegmentLookup(t *testing.T) {
+	m := NewMemory()
+	flash := mustMap(t, m, "flash", 0x0000_0000, 0x1000)
+	ram := mustMap(t, m, "ram", 0x2000_0000, 0x1000)
+	if got := m.Segment(0x10); got != flash {
+		t.Fatalf("Segment(0x10) = %v", got)
+	}
+	if got := m.Segment(0x2000_0FFF); got != ram {
+		t.Fatalf("Segment(ram end-1) = %v", got)
+	}
+	if got := m.Segment(0x2000_1000); got != nil {
+		t.Fatalf("Segment(past ram) = %v, want nil", got)
+	}
+	if got := m.Segment(0x1000_0000); got != nil {
+		t.Fatalf("Segment(gap) = %v, want nil", got)
+	}
+}
+
+func TestMemoryBytesRoundTrip(t *testing.T) {
+	m := NewMemory()
+	mustMap(t, m, "ram", 0x2000_0000, 0x1000)
+	want := []byte{1, 2, 3, 4, 5}
+	if err := m.WriteBytes(0x2000_0100, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadBytes(0x2000_0100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("byte %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// Property: for any offset and value, a word write followed by a read
+// returns the value, and neighbouring words are untouched.
+func TestMemoryWordWriteIsolationProperty(t *testing.T) {
+	m := NewMemory()
+	mustMap(t, m, "ram", 0x2000_0000, 0x10000)
+	f := func(off uint16, v uint32) bool {
+		addr := 0x2000_0000 + uint32(off)&^3
+		if addr < 0x2000_0004 || addr > 0x2000_0000+0xFFF8 {
+			return true
+		}
+		before, _ := m.ReadWord(addr - 4)
+		after, _ := m.ReadWord(addr + 4)
+		if err := m.WriteWord(addr, v); err != nil {
+			return false
+		}
+		got, err := m.ReadWord(addr)
+		if err != nil || got != v {
+			return false
+		}
+		b2, _ := m.ReadWord(addr - 4)
+		a2, _ := m.ReadWord(addr + 4)
+		return b2 == before && a2 == after
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

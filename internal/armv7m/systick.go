@@ -1,0 +1,66 @@
+package armv7m
+
+// SysTick models the ARMv7-M system timer (B3.3): a 24-bit down-counter
+// that raises the SysTick exception when it wraps from 1 to 0. The Tock
+// kernel arms it before every switch to user code to enforce the
+// scheduler's timeslice.
+type SysTick struct {
+	Enabled bool
+	Reload  uint32
+	current uint32
+	pending bool
+	// Fired counts total expirations, for scheduler statistics.
+	Fired uint64
+}
+
+// MaxReload is the largest value the 24-bit reload register holds.
+const MaxReload = 1<<24 - 1
+
+// Arm enables the timer with the given reload value (clamped to 24 bits)
+// and restarts the count.
+func (s *SysTick) Arm(reload uint32) {
+	if reload > MaxReload {
+		reload = MaxReload
+	}
+	s.Enabled = true
+	s.Reload = reload
+	s.current = reload
+	s.pending = false
+}
+
+// Disarm stops the timer and clears any pending expiry.
+func (s *SysTick) Disarm() {
+	s.Enabled = false
+	s.pending = false
+}
+
+// Advance counts down by n cycles, latching a pending exception on expiry.
+// The counter reloads and keeps running, as the hardware does.
+func (s *SysTick) Advance(n uint64) {
+	if !s.Enabled || s.Reload == 0 {
+		return
+	}
+	for n > 0 {
+		if uint64(s.current) > n {
+			s.current -= uint32(n)
+			return
+		}
+		n -= uint64(s.current)
+		s.current = s.Reload
+		s.pending = true
+		s.Fired++
+	}
+}
+
+// TakePending consumes a pending expiry, returning whether one was latched.
+func (s *SysTick) TakePending() bool {
+	p := s.pending
+	s.pending = false
+	return p
+}
+
+// Pending reports whether an expiry is latched without consuming it.
+func (s *SysTick) Pending() bool { return s.pending }
+
+// Current returns the live counter value.
+func (s *SysTick) Current() uint32 { return s.current }

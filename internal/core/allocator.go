@@ -1,0 +1,331 @@
+package core
+
+import (
+	"fmt"
+
+	"ticktock/internal/cycles"
+	"ticktock/internal/mpu"
+	"ticktock/internal/verify"
+)
+
+// GrantAlign is the alignment of grant allocations and of the kernel
+// break. Eight bytes satisfies the strictest Tock grant type alignment.
+const GrantAlign = 8
+
+// minBreakSlack separates the app break from the kernel break so the
+// strict appBreak < kernelBreak invariant always has room. It also absorbs
+// accessible-size overshoot from hardware granularity.
+const minBreakSlack = GrantAlign
+
+// Config adjusts allocator policy knobs that the paper's §6.2 evaluation
+// varies.
+type Config struct {
+	// Padding adds extra bytes between the app break and the kernel
+	// break at allocation time. The paper's "configure TickTock to add
+	// padding" run uses this to match Tock's total allocation.
+	Padding uint32
+	// Meter, when non-nil, is charged the instrumented cycle costs of
+	// every allocator operation (Figure 11).
+	Meter *cycles.Meter
+}
+
+// AppMemoryAllocator owns the per-process protection state: the logical
+// view (AppBreaks) and the hardware view (the region array), kept in exact
+// correspondence (paper §4.3). It is generic over the architecture's
+// region descriptor; the same allocation code runs on Cortex-M and RISC-V,
+// which is the point of the granular redesign.
+type AppMemoryAllocator[R RegionDescriptor] struct {
+	hw      MPU[R]
+	breaks  AppBreaks
+	regions []R
+	cfg     Config
+}
+
+// NewAllocator returns an allocator bound to an MPU driver with all
+// regions unset.
+func NewAllocator[R RegionDescriptor](hw MPU[R], cfg Config) *AppMemoryAllocator[R] {
+	regions := make([]R, hw.NumRegions())
+	for i := range regions {
+		regions[i] = hw.UnsetRegion(i)
+	}
+	return &AppMemoryAllocator[R]{hw: hw, regions: regions, cfg: cfg}
+}
+
+// Breaks returns the current logical layout.
+func (a *AppMemoryAllocator[R]) Breaks() *AppBreaks { return &a.breaks }
+
+// Regions returns the hardware region set (aliased, not copied).
+func (a *AppMemoryAllocator[R]) Regions() []R { return a.regions }
+
+// charge adds instrumented cycles when a meter is configured.
+func (a *AppMemoryAllocator[R]) charge(n uint64) { a.cfg.Meter.Add(n) }
+
+// AllocateAppMemory is the hardware-agnostic process allocator (paper
+// Figure 4a→4b, TickTock side). It asks the MPU driver for up to two
+// contiguous RAM regions making the app's initial need (appSize)
+// accessible — with hardware capacity reserved to grow toward the block's
+// eventual size — then derives the logical layout *from the returned
+// descriptors* (so the kernel view and the hardware view cannot disagree),
+// places the kernel-owned grant region at the top of the block, and
+// creates the flash code region.
+//
+// minSize is the process's declared total memory need (heap growth room
+// plus grants), as Tock reads from the TBF header; appSize is the
+// initially-accessible portion (stack + data + initial heap).
+func (a *AppMemoryAllocator[R]) AllocateAppMemory(
+	unallocStart, unallocSize uint32,
+	minSize, appSize, kernelSize uint32,
+	flashStart, flashSize uint32,
+) error {
+	a.charge(cycles.Call + 2*cycles.ALU)
+	if appSize == 0 {
+		return mpu.ErrHeap("zero-size request")
+	}
+	// The app-usable capacity: the declared total need minus the grant
+	// region (saturating), but at least the initial request. Unlike the
+	// monolithic baseline, the block is sized to this exact need rather
+	// than rounded to a hardware power of two — the reason TickTock's
+	// total allocation in §6.2 is 7,780 bytes against Tock's 8,192.
+	capacity := appSize
+	if minSize > kernelSize && minSize-kernelSize > capacity {
+		capacity = minSize - kernelSize
+	}
+
+	r0, r1, ok := a.hw.NewRegions(MaxRAMRegionNumber, unallocStart, unallocSize, appSize, capacity, mpu.ReadWriteOnly)
+	if !ok {
+		return mpu.ErrHeap(fmt.Sprintf("no region pair for %d/%d bytes in [0x%x,+0x%x)", appSize, capacity, unallocStart, unallocSize))
+	}
+
+	// Compute the actual start and accessible end exactly as hardware
+	// will enforce them (paper Fig 4b lines 22–28).
+	start, accessEnd, ok := AccessibleSpan[R](r0, r1)
+	a.charge(2 * cycles.Load)
+	if !ok {
+		return mpu.ErrHeap("driver returned non-contiguous regions")
+	}
+
+	// Size the block exactly: the usable capacity (or the accessible
+	// span, whichever the hardware made larger) plus alignment slack
+	// and the grant region. No power-of-two rounding.
+	accessible := accessEnd - start
+	slack := verify.AlignUp(accessEnd, GrantAlign) - accessEnd + minBreakSlack
+	memSize := max(capacity, accessible) + slack + kernelSize + a.cfg.Padding
+	memEnd64 := uint64(start) + uint64(memSize)
+	a.charge(4 * cycles.ALU)
+	if memEnd64 > uint64(unallocStart)+uint64(unallocSize) {
+		return mpu.ErrHeap(fmt.Sprintf("memory block of %d bytes does not fit at 0x%x", memSize, start))
+	}
+
+	breaks, err := NewAppBreaks(start, memSize, accessEnd, kernelSize, flashStart, flashSize)
+	if err != nil {
+		return err
+	}
+
+	flashRegion, ok := a.hw.NewExactRegion(FlashRegionNumber, flashStart, flashSize, mpu.ReadExecuteOnly)
+	if !ok {
+		return mpu.ErrFlash(fmt.Sprintf("cannot cover [0x%x,+0x%x) exactly", flashStart, flashSize))
+	}
+
+	a.breaks = breaks
+	a.regions[RAMRegion0] = r0
+	a.regions[RAMRegion1] = r1
+	a.regions[FlashRegionNumber] = flashRegion
+	a.charge(3 * cycles.Store)
+	return a.CheckCorrespondence()
+}
+
+// Brk moves the end of process-accessible memory to newBreak (the brk
+// syscall). The argument is validated against the logical layout *before*
+// any arithmetic — the validation whose absence let the paper's §2.2
+// underflow bug crash the kernel.
+func (a *AppMemoryAllocator[R]) Brk(newBreak uint32) error {
+	a.charge(cycles.Call)
+	b := &a.breaks
+	if err := verify.Require(newBreak >= b.memoryStart, "brk", "newBreak >= memoryStart",
+		"newBreak=0x%x memoryStart=0x%x", newBreak, b.memoryStart); err != nil {
+		return err
+	}
+	if err := verify.Require(newBreak < b.kernelBreak, "brk", "newBreak < kernelBreak",
+		"newBreak=0x%x kernelBreak=0x%x", newBreak, b.kernelBreak); err != nil {
+		return err
+	}
+	a.charge(2 * cycles.ALU)
+
+	totalSize := newBreak - b.memoryStart
+	if totalSize == 0 {
+		totalSize = 1 // keep at least one accessible byte so regions stay set
+	}
+	availableSize := b.kernelBreak - b.memoryStart - 1
+	r0, r1, ok := a.hw.UpdateRegions(a.regions[RAMRegion0], a.regions[RAMRegion1],
+		b.memoryStart, availableSize, totalSize, mpu.ReadWriteOnly)
+	if !ok {
+		return mpu.ErrHeap(fmt.Sprintf("cannot cover %d bytes within %d available", totalSize, availableSize))
+	}
+	start, accessEnd, spanOK := AccessibleSpan[R](r0, r1)
+	a.charge(2 * cycles.Load)
+	if !spanOK || start != b.memoryStart {
+		return mpu.ErrHeap("updated regions moved the memory start")
+	}
+	if err := b.SetAppBreak(accessEnd); err != nil {
+		return err
+	}
+	a.regions[RAMRegion0] = r0
+	a.regions[RAMRegion1] = r1
+	a.charge(2 * cycles.Store)
+	return a.CheckCorrespondence()
+}
+
+// Sbrk grows (or shrinks, for negative delta) the app break by delta bytes
+// and returns the new break.
+func (a *AppMemoryAllocator[R]) Sbrk(delta int32) (uint32, error) {
+	cur := a.breaks.AppBreak()
+	nb := uint64(cur) + uint64(int64(delta))
+	if int64(cur)+int64(delta) < 0 || nb > 1<<32-1 {
+		return 0, verify.Require(false, "sbrk", "break in address space", "delta=%d from 0x%x", delta, cur)
+	}
+	if err := a.Brk(uint32(nb)); err != nil {
+		return 0, err
+	}
+	return a.breaks.AppBreak(), nil
+}
+
+// AllocateGrant carves size bytes (GrantAlign-aligned) off the top of the
+// process-accessible gap below the current kernel break and returns the
+// new grant's base address.
+//
+// Unlike Tock's monolithic path, no MPU reconfiguration is needed: the
+// grant region was never user-accessible (it sits above the accessible
+// span, in disabled subregions or past the enabled footprint), so moving
+// the kernel break downward cannot widen user access. This is the
+// structural reason TickTock's allocate_grant is ~2× faster (Figure 11).
+func (a *AppMemoryAllocator[R]) AllocateGrant(size uint32) (uint32, error) {
+	a.charge(cycles.Call + 3*cycles.ALU)
+	b := &a.breaks
+	aligned := verify.AlignUp(size, GrantAlign)
+	if aligned < size { // overflow on align
+		return 0, verify.Require(false, "allocate_grant", "size alignable", "size=%d", size)
+	}
+	if uint64(aligned) >= uint64(b.kernelBreak)-uint64(b.appBreak) {
+		return 0, mpu.ErrHeap(fmt.Sprintf("grant of %d bytes does not fit below kernel break 0x%x", aligned, b.kernelBreak))
+	}
+	newKB := b.kernelBreak - aligned
+	if err := b.SetKernelBreak(newKB); err != nil {
+		return 0, err
+	}
+	a.charge(cycles.Store)
+	return newKB, nil
+}
+
+// ConfigureMPU pushes the current region set to the hardware and enables
+// enforcement. Called on every context switch into the process.
+func (a *AppMemoryAllocator[R]) ConfigureMPU() error {
+	return a.hw.ConfigureMPU(a.regions)
+}
+
+// DisableMPU turns enforcement off for kernel execution.
+func (a *AppMemoryAllocator[R]) DisableMPU() { a.hw.DisableMPU() }
+
+// CheckCorrespondence verifies the paper's §4.3 logical↔hardware
+// correspondence invariants against the current state:
+//
+//	can_access_flash:  the flash region grants r-x over exactly the
+//	                   process code span and nothing outside it;
+//	can_access_ram:    the RAM region pair grants rw- over exactly
+//	                   [memoryStart, appBreak) and nothing outside it;
+//	cannot_access_other: no other region overlaps the process memory
+//	                   block, and nothing overlaps the grant region.
+func (a *AppMemoryAllocator[R]) CheckCorrespondence() error {
+	b := &a.breaks
+	flashEnd := b.flashStart + b.flashSize
+
+	// can_access_flash
+	fr := a.regions[FlashRegionNumber]
+	if !CanAccess(fr, b.flashStart, flashEnd, mpu.ReadExecuteOnly) {
+		return &verify.ContractError{Site: "correspondence", Clause: "can_access_flash",
+			Detail: fmt.Sprintf("flash region does not cover [0x%x,0x%x) r-x", b.flashStart, flashEnd)}
+	}
+	if b.flashStart > 0 && fr.Overlaps(0, b.flashStart) || fr.Overlaps(flashEnd, 0xFFFF_FFFF) {
+		return &verify.ContractError{Site: "correspondence", Clause: "can_access_flash",
+			Detail: "flash region grants access outside the code span"}
+	}
+
+	// can_access_ram
+	start, accessEnd, ok := AccessibleSpan[R](a.regions[RAMRegion0], a.regions[RAMRegion1])
+	if !ok || start != b.memoryStart || accessEnd != b.appBreak {
+		return &verify.ContractError{Site: "correspondence", Clause: "can_access_ram",
+			Detail: fmt.Sprintf("accessible span [0x%x,0x%x) != logical [0x%x,0x%x)", start, accessEnd, b.memoryStart, b.appBreak)}
+	}
+	for _, id := range []int{RAMRegion0, RAMRegion1} {
+		r := a.regions[id]
+		if r.IsSet() && !r.AllowsPermissions(mpu.ReadWriteOnly) {
+			return &verify.ContractError{Site: "correspondence", Clause: "can_access_ram",
+				Detail: fmt.Sprintf("region %d permissions are not rw-", id)}
+		}
+		if r.Overlaps(b.kernelBreak, b.MemoryEnd()) {
+			return &verify.ContractError{Site: "correspondence", Clause: "can_access_ram",
+				Detail: fmt.Sprintf("region %d grants access into the grant region [0x%x,0x%x)", id, b.kernelBreak, b.MemoryEnd())}
+		}
+	}
+
+	// cannot_access_other
+	for i, r := range a.regions {
+		if i == RAMRegion0 || i == RAMRegion1 {
+			continue
+		}
+		if r.Overlaps(b.memoryStart, b.MemoryEnd()) {
+			return &verify.ContractError{Site: "correspondence", Clause: "cannot_access_other",
+				Detail: fmt.Sprintf("region %d overlaps the process memory block", i)}
+		}
+	}
+	return nil
+}
+
+// UserCanAccess reports whether the logical layout grants the process the
+// given access to every byte of [start, start+size). Reads are allowed in
+// flash and accessible RAM; writes only in accessible RAM.
+func (a *AppMemoryAllocator[R]) UserCanAccess(start, size uint32, kind mpu.AccessKind) bool {
+	switch kind {
+	case mpu.AccessWrite:
+		return a.breaks.ContainsInRAM(start, size)
+	case mpu.AccessRead:
+		return a.breaks.ContainsInRAM(start, size) || a.breaks.ContainsInFlash(start, size)
+	case mpu.AccessExecute:
+		return a.breaks.ContainsInFlash(start, size)
+	default:
+		return false
+	}
+}
+
+// MapIPCRegion installs an extra hardware region (id >=
+// FirstIPCRegionNumber) granting this process access to [start,
+// start+size) — another process's shared span, Tock's MPU-mediated IPC.
+// The span must not overlap this process's own memory block (that would
+// let an IPC mapping silently widen the process's own grant access), and
+// the hardware must be able to represent it exactly.
+func (a *AppMemoryAllocator[R]) MapIPCRegion(id int, start, size uint32, perms mpu.Permissions) error {
+	a.charge(cycles.Call + 2*cycles.ALU)
+	if id < FirstIPCRegionNumber || id >= len(a.regions) {
+		return verify.Require(false, "map_ipc_region", "ipc region id", "id=%d", id)
+	}
+	b := &a.breaks
+	end := uint64(start) + uint64(size)
+	if start < b.MemoryEnd() && uint64(b.memoryStart) < end {
+		return verify.Require(false, "map_ipc_region", "no overlap with own block",
+			"span [0x%x,0x%x) overlaps [0x%x,0x%x)", start, end, b.memoryStart, b.MemoryEnd())
+	}
+	region, ok := a.hw.NewExactRegion(id, start, size, perms)
+	if !ok {
+		return mpu.ErrHeap(fmt.Sprintf("ipc span [0x%x,+0x%x) not representable", start, size))
+	}
+	a.regions[id] = region
+	return a.CheckCorrespondence()
+}
+
+// UnmapIPCRegion removes a previously mapped IPC region.
+func (a *AppMemoryAllocator[R]) UnmapIPCRegion(id int) error {
+	if id < FirstIPCRegionNumber || id >= len(a.regions) {
+		return verify.Require(false, "unmap_ipc_region", "ipc region id", "id=%d", id)
+	}
+	a.regions[id] = a.hw.UnsetRegion(id)
+	return a.CheckCorrespondence()
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+
+	"ticktock/internal/verify"
+)
+
+// AppBreaks is the kernel's logical view of one process's memory layout
+// (paper Figure 6). The fields are unexported so that every construction
+// and mutation flows through checked paths; the three paper invariants
+//
+//	kernelBreak <= memoryStart + memorySize
+//	memoryStart <= appBreak
+//	appBreak    <  kernelBreak
+//
+// are verified at every such path, which is the runtime analogue of Flux
+// checking them wherever an AppBreaks is created or updated.
+type AppBreaks struct {
+	memoryStart uint32
+	memorySize  uint32
+	appBreak    uint32
+	kernelBreak uint32
+	flashStart  uint32
+	flashSize   uint32
+}
+
+// invariant evaluates the paper's three clauses plus basic well-formedness
+// (no 32-bit wraparound), returning the first violated clause.
+func (b *AppBreaks) invariant() error {
+	if uint64(b.memoryStart)+uint64(b.memorySize) > 1<<32 {
+		return &verify.ContractError{Site: "AppBreaks", Clause: "memoryStart+memorySize fits", Detail: fmt.Sprintf("0x%x+0x%x wraps", b.memoryStart, b.memorySize)}
+	}
+	if !(b.kernelBreak <= b.memoryStart+b.memorySize) {
+		return &verify.ContractError{Site: "AppBreaks", Clause: "kernelBreak <= memoryStart+memorySize", Detail: fmt.Sprintf("kernelBreak=0x%x end=0x%x", b.kernelBreak, b.memoryStart+b.memorySize)}
+	}
+	if !(b.memoryStart <= b.appBreak) {
+		return &verify.ContractError{Site: "AppBreaks", Clause: "memoryStart <= appBreak", Detail: fmt.Sprintf("memoryStart=0x%x appBreak=0x%x", b.memoryStart, b.appBreak)}
+	}
+	if !(b.appBreak < b.kernelBreak) {
+		return &verify.ContractError{Site: "AppBreaks", Clause: "appBreak < kernelBreak", Detail: fmt.Sprintf("appBreak=0x%x kernelBreak=0x%x", b.appBreak, b.kernelBreak)}
+	}
+	if uint64(b.flashStart)+uint64(b.flashSize) > 1<<32 {
+		return &verify.ContractError{Site: "AppBreaks", Clause: "flash fits", Detail: fmt.Sprintf("0x%x+0x%x wraps", b.flashStart, b.flashSize)}
+	}
+	return nil
+}
+
+// NewAppBreaks constructs a checked AppBreaks. kernelBreak is placed so
+// that the top kernelSize bytes of the memory block form the grant region.
+func NewAppBreaks(memoryStart, memorySize, appBreak, kernelSize, flashStart, flashSize uint32) (AppBreaks, error) {
+	if uint64(kernelSize) > uint64(memorySize) {
+		return AppBreaks{}, &verify.ContractError{Site: "NewAppBreaks", Clause: "kernelSize <= memorySize", Detail: fmt.Sprintf("kernelSize=%d memorySize=%d", kernelSize, memorySize)}
+	}
+	b := AppBreaks{
+		memoryStart: memoryStart,
+		memorySize:  memorySize,
+		appBreak:    appBreak,
+		kernelBreak: memoryStart + memorySize - kernelSize,
+		flashStart:  flashStart,
+		flashSize:   flashSize,
+	}
+	if err := b.invariant(); err != nil {
+		return AppBreaks{}, err
+	}
+	return b, nil
+}
+
+// MemoryStart returns the lowest address of the process memory block.
+func (b *AppBreaks) MemoryStart() uint32 { return b.memoryStart }
+
+// MemorySize returns the total size of the process memory block,
+// including the kernel-owned grant region.
+func (b *AppBreaks) MemorySize() uint32 { return b.memorySize }
+
+// MemoryEnd returns the first address past the process memory block.
+func (b *AppBreaks) MemoryEnd() uint32 { return b.memoryStart + b.memorySize }
+
+// AppBreak returns the first address past the process-accessible RAM.
+func (b *AppBreaks) AppBreak() uint32 { return b.appBreak }
+
+// KernelBreak returns the lowest address of the kernel-owned grant region.
+func (b *AppBreaks) KernelBreak() uint32 { return b.kernelBreak }
+
+// FlashStart returns the base of the process code region in flash.
+func (b *AppBreaks) FlashStart() uint32 { return b.flashStart }
+
+// FlashSize returns the size of the process code region.
+func (b *AppBreaks) FlashSize() uint32 { return b.flashSize }
+
+// GrantSize returns the size of the kernel-owned grant region.
+func (b *AppBreaks) GrantSize() uint32 { return b.MemoryEnd() - b.kernelBreak }
+
+// SetAppBreak moves the end of process-accessible memory (brk). The
+// invariants reject any break at or past the kernel break — the exact
+// check whose absence caused the paper's §2.2 underflow bug.
+func (b *AppBreaks) SetAppBreak(newBreak uint32) error {
+	nb := *b
+	nb.appBreak = newBreak
+	if err := nb.invariant(); err != nil {
+		return err
+	}
+	*b = nb
+	return nil
+}
+
+// SetKernelBreak moves the start of the grant region downward (grant
+// allocation grows the grant region toward the heap).
+func (b *AppBreaks) SetKernelBreak(newKernelBreak uint32) error {
+	nb := *b
+	nb.kernelBreak = newKernelBreak
+	if err := nb.invariant(); err != nil {
+		return err
+	}
+	*b = nb
+	return nil
+}
+
+// ContainsInRAM reports whether [start, start+size) lies entirely within
+// the process-accessible RAM [memoryStart, appBreak). Used to validate
+// user-supplied buffer addresses (allow syscalls).
+func (b *AppBreaks) ContainsInRAM(start, size uint32) bool {
+	end := uint64(start) + uint64(size)
+	return start >= b.memoryStart && end <= uint64(b.appBreak)
+}
+
+// ContainsInFlash reports whether [start, start+size) lies entirely within
+// the process flash region.
+func (b *AppBreaks) ContainsInFlash(start, size uint32) bool {
+	end := uint64(start) + uint64(size)
+	return start >= b.flashStart && end <= uint64(b.flashStart)+uint64(b.flashSize)
+}
+
+// String formats the layout for fault reports and the memory-layout tests.
+func (b *AppBreaks) String() string {
+	return fmt.Sprintf("mem=[0x%08x,0x%08x) appBreak=0x%08x kernelBreak=0x%08x flash=[0x%08x,0x%08x)",
+		b.memoryStart, b.MemoryEnd(), b.appBreak, b.kernelBreak, b.flashStart, b.flashStart+b.flashSize)
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAppBreaksValid(t *testing.T) {
+	b, err := NewAppBreaks(0x2000_0000, 0x2000, 0x2000_1000, 0x800, 0x0004_0000, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.MemoryStart() != 0x2000_0000 || b.MemorySize() != 0x2000 {
+		t.Fatalf("mem=%x+%x", b.MemoryStart(), b.MemorySize())
+	}
+	if b.KernelBreak() != 0x2000_2000-0x800 {
+		t.Fatalf("kernelBreak=0x%x", b.KernelBreak())
+	}
+	if b.GrantSize() != 0x800 {
+		t.Fatalf("grantSize=%d", b.GrantSize())
+	}
+	if b.MemoryEnd() != 0x2000_2000 {
+		t.Fatalf("memoryEnd=0x%x", b.MemoryEnd())
+	}
+}
+
+func TestNewAppBreaksRejectsOverlap(t *testing.T) {
+	// appBreak == kernelBreak violates the strict inequality — the §3.4
+	// grant-overlap scenario expressed logically.
+	_, err := NewAppBreaks(0x2000_0000, 0x2000, 0x2000_1800, 0x800, 0, 0x1000)
+	if err == nil {
+		t.Fatal("appBreak == kernelBreak accepted")
+	}
+	if !strings.Contains(err.Error(), "appBreak < kernelBreak") {
+		t.Fatalf("wrong clause: %v", err)
+	}
+	// appBreak past kernelBreak.
+	if _, err := NewAppBreaks(0x2000_0000, 0x2000, 0x2000_1C00, 0x800, 0, 0x1000); err == nil {
+		t.Fatal("appBreak > kernelBreak accepted")
+	}
+}
+
+func TestNewAppBreaksRejectsBreakBelowStart(t *testing.T) {
+	if _, err := NewAppBreaks(0x2000_1000, 0x2000, 0x2000_0FFF, 0x100, 0, 0x1000); err == nil {
+		t.Fatal("appBreak below memoryStart accepted")
+	}
+}
+
+func TestNewAppBreaksRejectsOversizedGrant(t *testing.T) {
+	if _, err := NewAppBreaks(0x2000_0000, 0x1000, 0x2000_0000, 0x2000, 0, 0x1000); err == nil {
+		t.Fatal("kernelSize > memorySize accepted")
+	}
+}
+
+func TestNewAppBreaksRejectsWrap(t *testing.T) {
+	if _, err := NewAppBreaks(0xFFFF_F000, 0x2000, 0xFFFF_F800, 0x100, 0, 0x100); err == nil {
+		t.Fatal("wrapping memory block accepted")
+	}
+}
+
+func TestSetAppBreakEnforcesInvariants(t *testing.T) {
+	b, err := NewAppBreaks(0x2000_0000, 0x2000, 0x2000_1000, 0x800, 0, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Legal move up to just below kernel break.
+	if err := b.SetAppBreak(b.KernelBreak() - 1); err != nil {
+		t.Fatalf("legal brk rejected: %v", err)
+	}
+	// Touching the kernel break is an isolation violation.
+	if err := b.SetAppBreak(b.KernelBreak()); err == nil {
+		t.Fatal("brk onto kernelBreak accepted")
+	}
+	// Below memory start.
+	if err := b.SetAppBreak(0x1FFF_FFFF); err == nil {
+		t.Fatal("brk below memoryStart accepted")
+	}
+	// Failed updates must not mutate.
+	if b.AppBreak() != b.KernelBreak()-1 {
+		t.Fatalf("failed SetAppBreak mutated state: 0x%x", b.AppBreak())
+	}
+}
+
+func TestSetKernelBreakEnforcesInvariants(t *testing.T) {
+	b, err := NewAppBreaks(0x2000_0000, 0x2000, 0x2000_1000, 0x800, 0, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetKernelBreak(0x2000_1001); err != nil {
+		t.Fatalf("legal grant growth rejected: %v", err)
+	}
+	if err := b.SetKernelBreak(0x2000_1000); err == nil {
+		t.Fatal("kernelBreak onto appBreak accepted")
+	}
+	if err := b.SetKernelBreak(b.MemoryEnd() + 1); err == nil {
+		t.Fatal("kernelBreak past memory end accepted")
+	}
+}
+
+func TestContainsInRAMAndFlash(t *testing.T) {
+	b, err := NewAppBreaks(0x2000_0000, 0x2000, 0x2000_1000, 0x800, 0x0004_0000, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.ContainsInRAM(0x2000_0000, 0x1000) {
+		t.Fatal("full accessible span rejected")
+	}
+	if b.ContainsInRAM(0x2000_0000, 0x1001) {
+		t.Fatal("span past appBreak accepted")
+	}
+	if b.ContainsInRAM(0x1FFF_FFFF, 4) {
+		t.Fatal("span before memoryStart accepted")
+	}
+	if b.ContainsInRAM(0xFFFF_FFFF, 2) {
+		t.Fatal("wrapping span accepted")
+	}
+	if !b.ContainsInFlash(0x0004_0000, 0x1000) {
+		t.Fatal("full flash span rejected")
+	}
+	if b.ContainsInFlash(0x0004_0FFF, 2) {
+		t.Fatal("span past flash end accepted")
+	}
+}
+
+// Property: any sequence of SetAppBreak/SetKernelBreak calls, regardless
+// of argument, leaves the invariants intact (failed calls roll back).
+func TestBreaksInvariantPreservationProperty(t *testing.T) {
+	f := func(moves []uint32, kinds []bool) bool {
+		b, err := NewAppBreaks(0x2000_0000, 0x4000, 0x2000_1000, 0x800, 0, 0x1000)
+		if err != nil {
+			return false
+		}
+		for i, mv := range moves {
+			target := 0x2000_0000 + mv%0x5000
+			if i < len(kinds) && kinds[i] {
+				_ = b.SetAppBreak(target)
+			} else {
+				_ = b.SetKernelBreak(target)
+			}
+			if b.invariant() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+// Package core implements the TickTock paper's primary contribution: the
+// granular MPU abstraction (§3.5) and the formally-specified process memory
+// accounting built on it (§4.2–§4.4).
+//
+// The design separates two concerns the original Tock kernel entangled:
+//
+//   - RegionDescriptor abstractly characterizes one hardware-enforced
+//     region — just an accessible start, size and permission set — hiding
+//     all alignment, power-of-two and subregion detail.
+//   - MPU creates and updates regions under the hardware's constraints and
+//     pushes a finished region set to the silicon.
+//
+// On top of those two interfaces, AppBreaks records the kernel's logical
+// view of a process's memory (with the paper's three invariants checked on
+// every construction and update), and AppMemoryAllocator keeps the logical
+// view and the hardware view in exact correspondence (the paper's
+// can_access_flash / can_access_ram / cannot_access_other invariants).
+// Everything here is generic over the architecture; the Cortex-M and
+// RISC-V PMP drivers live in cortexm.go and pmpdriver.go.
+package core
+
+import (
+	"ticktock/internal/mpu"
+)
+
+// Region numbering convention, matching the Tock Cortex-M port: the two
+// lowest-numbered regions cover process RAM so that higher-numbered
+// regions (IPC, flash) take hardware priority over them on ARM.
+const (
+	// RAMRegion0 and RAMRegion1 cover the process stack/data/heap.
+	RAMRegion0 = 0
+	RAMRegion1 = 1
+	// MaxRAMRegionNumber is the highest region id reserved for RAM.
+	MaxRAMRegionNumber = RAMRegion1
+	// FlashRegionNumber covers the process code in flash.
+	FlashRegionNumber = 2
+	// FirstIPCRegionNumber is where shared/IPC regions start.
+	FirstIPCRegionNumber = 3
+)
+
+// RegionDescriptor abstractly characterizes a single contiguous
+// hardware-enforced memory region (paper Figure 5). Implementations decode
+// every answer from the raw hardware register values they carry, so the
+// descriptor *is* the hardware view: there is no second copy of the layout
+// to fall out of sync.
+//
+// An unset descriptor (IsSet() == false) enforces nothing and reports no
+// start or size.
+type RegionDescriptor interface {
+	// IsSet reports whether the region is enabled in hardware.
+	IsSet() bool
+	// Start returns the first user-accessible address of the region.
+	// ok is false for unset regions.
+	Start() (addr uint32, ok bool)
+	// Size returns the user-accessible size in bytes (for subregioned
+	// ARM regions this is the enabled prefix, not the full footprint).
+	Size() (size uint32, ok bool)
+	// Overlaps reports whether any user-accessible byte of the region
+	// falls within [start, end).
+	Overlaps(start, end uint32) bool
+	// AllowsPermissions reports whether the region grants exactly the
+	// given logical permission set (the paper's matches refinement).
+	AllowsPermissions(p mpu.Permissions) bool
+	// RegionID returns the hardware region number the descriptor
+	// configures.
+	RegionID() int
+}
+
+// CanAccess is the paper's final associated refinement can_access: the
+// region is set, spans exactly [start, end), and matches perms.
+func CanAccess(r RegionDescriptor, start, end uint32, perms mpu.Permissions) bool {
+	if !r.IsSet() {
+		return false
+	}
+	s, ok := r.Start()
+	if !ok {
+		return false
+	}
+	sz, ok := r.Size()
+	if !ok {
+		return false
+	}
+	return s == start && s+sz == end && r.AllowsPermissions(perms)
+}
+
+// MPU is the granular hardware abstraction (paper Figure 3b). The methods
+// are oblivious to process layout; they deal exclusively in hardware
+// regions. R is the architecture's region descriptor type.
+//
+// One deliberate deviation from the paper's trait signature: UpdateRegions
+// receives the existing region pair instead of re-deriving the underlying
+// hardware block from scratch. The hardware footprint chosen at allocation
+// time (e.g. the Cortex-M power-of-two region size) is not recoverable
+// from the accessible start/size alone, and threading it through the
+// descriptors keeps the kernel code hardware-agnostic all the same.
+type MPU[R RegionDescriptor] interface {
+	// NumRegions returns how many hardware regions exist.
+	NumRegions() int
+	// UnsetRegion returns a disabled descriptor for region id.
+	UnsetRegion(id int) R
+	// NewRegions returns up to two contiguous regions, numbered
+	// maxRegionID-1 and maxRegionID, that together make at least
+	// initialSize bytes user-accessible with the given permissions,
+	// starting at or after unallocStart, with enough hardware capacity
+	// to later grow the accessible span to capacitySize bytes via
+	// UpdateRegions (on Cortex-M the power-of-two footprint is fixed at
+	// creation, so growth room must be reserved up front). Only the
+	// initially-enabled span must fit within unallocSize bytes. ok is
+	// false when the constraints cannot be met.
+	//
+	// The paper's trait passes a single total_size; we split it into
+	// (initialSize, capacitySize) because the kernel sets the initial
+	// app break below the full block, exactly as Tock's process loader
+	// does, and the driver must size the footprint for the block.
+	NewRegions(maxRegionID int, unallocStart, unallocSize, initialSize, capacitySize uint32, perms mpu.Permissions) (r0, r1 R, ok bool)
+	// UpdateRegions resizes an allocated region pair in place so the
+	// user-accessible span becomes at least totalSize bytes (and no
+	// more than availableSize), keeping the same base address.
+	UpdateRegions(r0, r1 R, regionStart, availableSize, totalSize uint32, perms mpu.Permissions) (nr0, nr1 R, ok bool)
+	// NewExactRegion creates a single region spanning exactly
+	// [start, start+size) with the given permissions, used for process
+	// flash. ok is false if the hardware cannot represent it exactly.
+	NewExactRegion(regionID int, start, size uint32, perms mpu.Permissions) (R, bool)
+	// ConfigureMPU writes the region set to the hardware, in ascending
+	// region-id order, and enables enforcement for unprivileged code.
+	ConfigureMPU(regions []R) error
+	// DisableMPU turns enforcement off (kernel execution).
+	DisableMPU()
+}
+
+// AccessibleSpan returns the contiguous accessible span [start, end) of a
+// contiguous region pair. The pair must be contiguous: r1, when set,
+// starts exactly at r0's end.
+func AccessibleSpan[R RegionDescriptor](r0, r1 R) (start, end uint32, ok bool) {
+	s0, ok0 := r0.Start()
+	z0, _ := r0.Size()
+	if !ok0 {
+		return 0, 0, false
+	}
+	end = s0 + z0
+	if r1.IsSet() {
+		s1, _ := r1.Start()
+		z1, _ := r1.Size()
+		if s1 != end {
+			return 0, 0, false
+		}
+		end = s1 + z1
+	}
+	return s0, end, true
+}

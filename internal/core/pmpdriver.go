@@ -1,0 +1,249 @@
+package core
+
+import (
+	"ticktock/internal/cycles"
+	"ticktock/internal/mpu"
+	"ticktock/internal/riscv"
+	"ticktock/internal/verify"
+)
+
+// PMPRegion is the RISC-V region descriptor. A logical region occupies two
+// consecutive PMP entries in TOR mode (entry 2i holds the start address
+// with A=OFF, entry 2i+1 holds the end with A=TOR), or one entry in NAPOT
+// mode on chips without TOR support. As with CortexMRegion, every answer
+// is decoded from the raw CSR values.
+type PMPRegion struct {
+	id    int
+	napot bool
+	// TOR form: loAddr/hiAddr are pmpaddr values (address >> 2).
+	loAddr, hiAddr uint32
+	// NAPOT form: addrReg is the encoded pmpaddr value.
+	addrReg uint32
+	cfg     uint8
+	set     bool
+}
+
+// RegionID implements RegionDescriptor.
+func (r PMPRegion) RegionID() int { return r.id }
+
+// IsSet implements RegionDescriptor.
+func (r PMPRegion) IsSet() bool { return r.set }
+
+// span decodes the protected address range.
+func (r PMPRegion) span() (start, end uint64) {
+	if !r.set {
+		return 0, 0
+	}
+	if r.napot {
+		base, size := riscv.DecodeNAPOT(r.addrReg)
+		return base, base + size
+	}
+	return uint64(r.loAddr) << 2, uint64(r.hiAddr) << 2
+}
+
+// Start implements RegionDescriptor. The PMP is byte-flexible (4-byte
+// granularity), so the accessible start is the region start (paper §3.5).
+func (r PMPRegion) Start() (uint32, bool) {
+	if !r.set {
+		return 0, false
+	}
+	s, _ := r.span()
+	return uint32(s), true
+}
+
+// Size implements RegionDescriptor.
+func (r PMPRegion) Size() (uint32, bool) {
+	if !r.set {
+		return 0, false
+	}
+	s, e := r.span()
+	return uint32(e - s), true
+}
+
+// Overlaps implements RegionDescriptor.
+func (r PMPRegion) Overlaps(start, end uint32) bool {
+	if !r.set || end <= start {
+		return false
+	}
+	s, e := r.span()
+	return s < uint64(end) && uint64(start) < e
+}
+
+// AllowsPermissions implements RegionDescriptor by decoding the R/W/X cfg
+// bits.
+func (r PMPRegion) AllowsPermissions(p mpu.Permissions) bool {
+	if !r.set {
+		return false
+	}
+	rwx := r.cfg & (riscv.CfgR | riscv.CfgW | riscv.CfgX)
+	mode := r.cfg & riscv.CfgAMask
+	return rwx|mode == riscv.EncodeCfg(p, mode>>riscv.CfgAShift)
+}
+
+// PMPMPU implements the granular MPU interface over a riscv.PMP unit. It
+// adapts to the chip: TOR-capable chips get byte-granular (4-byte) regions
+// with two entries each; NAPOT-only chips (ESP32-C3) get power-of-two
+// regions with one entry each — exactly the hardware variability the
+// RegionDescriptor abstraction hides from the kernel allocator.
+type PMPMPU struct {
+	HW    *riscv.PMP
+	Meter *cycles.Meter
+}
+
+// NewPMPMPU returns a driver over the given PMP unit.
+func NewPMPMPU(hw *riscv.PMP) *PMPMPU { return &PMPMPU{HW: hw} }
+
+// NumRegions implements MPU: TOR chips pair entries, NAPOT chips don't.
+func (p *PMPMPU) NumRegions() int {
+	if p.HW.Chip.TORSupported {
+		return p.HW.Chip.Entries / 2
+	}
+	return p.HW.Chip.Entries
+}
+
+// UnsetRegion implements MPU.
+func (p *PMPMPU) UnsetRegion(id int) PMPRegion { return PMPRegion{id: id} }
+
+// granule returns the chip's protection granularity.
+func (p *PMPMPU) granule() uint32 { return p.HW.Chip.Granularity }
+
+// makeRegion builds a descriptor for [start, start+size) if the chip can
+// represent it with the region base fixed at start.
+func (p *PMPMPU) makeRegion(id int, start, size uint32, perms mpu.Permissions) (PMPRegion, bool) {
+	g := p.granule()
+	if size == 0 || start%g != 0 {
+		return PMPRegion{id: id}, false
+	}
+	if p.HW.Chip.TORSupported {
+		size = verify.AlignUp(size, g)
+		if uint64(start)+uint64(size) > 1<<32 {
+			return PMPRegion{id: id}, false
+		}
+		return PMPRegion{
+			id: id, napot: false,
+			loAddr: start >> 2, hiAddr: (start + size) >> 2,
+			cfg: riscv.EncodeCfg(perms, riscv.ATor),
+			set: true,
+		}, true
+	}
+	// NAPOT: size must be a power of two >= 8 and start aligned to it.
+	sz := verify.ClosestPowerOfTwo(max(size, 8))
+	if start%sz != 0 {
+		return PMPRegion{id: id}, false
+	}
+	reg, err := riscv.EncodeNAPOT(start, sz)
+	if err != nil {
+		return PMPRegion{id: id}, false
+	}
+	return PMPRegion{
+		id: id, napot: true, addrReg: reg,
+		cfg: riscv.EncodeCfg(perms, riscv.ANapot),
+		set: true,
+	}, true
+}
+
+// NewRegions implements MPU. RISC-V needs only a single region for the
+// process RAM (paper §6.2: "one RAM region for RISC-V"), returned as r0
+// with r1 unset.
+func (p *PMPMPU) NewRegions(maxRegionID int, unallocStart, unallocSize, initialSize, capacitySize uint32, perms mpu.Permissions) (PMPRegion, PMPRegion, bool) {
+	p.Meter.Add(cycles.Call + 4*cycles.ALU)
+	unset0, unset1 := PMPRegion{id: maxRegionID - 1}, PMPRegion{id: maxRegionID}
+	if initialSize == 0 {
+		return unset0, unset1, false
+	}
+	g := p.granule()
+	start := verify.AlignUp(unallocStart, g)
+	if !p.HW.Chip.TORSupported {
+		// NAPOT start must align to the largest (power-of-two) size the
+		// region may grow to, so in-place growth stays representable.
+		sz := verify.ClosestPowerOfTwo(max(capacitySize, initialSize, 8))
+		start = verify.AlignUp(unallocStart, sz)
+	}
+	r0, ok := p.makeRegion(maxRegionID-1, start, initialSize, perms)
+	if !ok {
+		return unset0, unset1, false
+	}
+	_, accessEnd, _ := AccessibleSpan[PMPRegion](r0, unset1)
+	if uint64(accessEnd) > uint64(unallocStart)+uint64(unallocSize) {
+		return unset0, unset1, false
+	}
+	return r0, unset1, true
+}
+
+// UpdateRegions implements MPU: rebuilds the single RAM region with the
+// same base and a new size.
+func (p *PMPMPU) UpdateRegions(r0, r1 PMPRegion, regionStart, availableSize, totalSize uint32, perms mpu.Permissions) (PMPRegion, PMPRegion, bool) {
+	p.Meter.Add(cycles.Call + 4*cycles.ALU)
+	if !r0.IsSet() {
+		return r0, r1, false
+	}
+	if s, _ := r0.Start(); s != regionStart {
+		return r0, r1, false
+	}
+	nr0, ok := p.makeRegion(r0.RegionID(), regionStart, totalSize, perms)
+	if !ok {
+		return r0, r1, false
+	}
+	if sz, _ := nr0.Size(); sz > availableSize {
+		return r0, r1, false
+	}
+	return nr0, PMPRegion{id: r1.RegionID()}, true
+}
+
+// NewExactRegion implements MPU.
+func (p *PMPMPU) NewExactRegion(regionID int, start, size uint32, perms mpu.Permissions) (PMPRegion, bool) {
+	p.Meter.Add(cycles.Call + 2*cycles.ALU)
+	r, ok := p.makeRegion(regionID, start, size, perms)
+	if !ok {
+		return r, false
+	}
+	if sz, _ := r.Size(); sz != size {
+		return PMPRegion{id: regionID}, false // representation would over-grant
+	}
+	return r, true
+}
+
+// ConfigureMPU implements MPU: writes the CSR entries for every region in
+// ascending order, clearing entries for unset regions.
+func (p *PMPMPU) ConfigureMPU(regions []PMPRegion) error {
+	for _, r := range regions {
+		if p.HW.Chip.TORSupported {
+			lo, hi := 2*r.id, 2*r.id+1
+			p.Meter.Add(2 * cycles.MMIO)
+			if !r.set {
+				if err := p.HW.SetEntry(lo, 0, 0); err != nil {
+					return err
+				}
+				if err := p.HW.SetEntry(hi, 0, 0); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := p.HW.SetEntry(lo, 0, r.loAddr); err != nil {
+				return err
+			}
+			if err := p.HW.SetEntry(hi, r.cfg, r.hiAddr); err != nil {
+				return err
+			}
+			continue
+		}
+		p.Meter.Add(cycles.MMIO)
+		if !r.set {
+			if err := p.HW.SetEntry(r.id, 0, 0); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := p.HW.SetEntry(r.id, r.cfg, r.addrReg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DisableMPU implements MPU. PMP has no global enable; machine mode
+// already bypasses unlocked entries, so kernel execution needs no change.
+func (p *PMPMPU) DisableMPU() {}
+
+var _ MPU[PMPRegion] = (*PMPMPU)(nil)
+var _ RegionDescriptor = PMPRegion{}

@@ -1,0 +1,62 @@
+package cyclebench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure11Shapes(t *testing.T) {
+	rows, err := Compare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", Table(rows))
+	byMethod := map[string]Row{}
+	for _, r := range rows {
+		byMethod[r.Method] = r
+		if r.TickTock == 0 || r.Tock == 0 {
+			t.Fatalf("method %s not exercised: %+v", r.Method, r)
+		}
+	}
+
+	// The paper's Figure 11 shapes (who wins; we do not chase the
+	// absolute numbers, only the direction and rough magnitude):
+	// allocate_grant: TickTock much faster (paper −50%).
+	if d := byMethod["allocate_grant"].PctDiff(); d > -20 {
+		t.Errorf("allocate_grant diff %+.1f%%, want strongly negative", d)
+	}
+	// brk: TickTock faster (paper −22%).
+	if d := byMethod["brk"].PctDiff(); d > -5 {
+		t.Errorf("brk diff %+.1f%%, want negative", d)
+	}
+	// build_readonly_buffer: TickTock faster (paper −20%).
+	if d := byMethod["build_readonly_buffer"].PctDiff(); d > -5 {
+		t.Errorf("build_readonly_buffer diff %+.1f%%, want negative", d)
+	}
+	// build_readwrite_buffer: TickTock faster (paper −34%).
+	if d := byMethod["build_readwrite_buffer"].PctDiff(); d > -5 {
+		t.Errorf("build_readwrite_buffer diff %+.1f%%, want negative", d)
+	}
+	// create: roughly equal (paper +0.7%).
+	if d := byMethod["create"].PctDiff(); d < -10 || d > 10 {
+		t.Errorf("create diff %+.1f%%, want near zero", d)
+	}
+	// setup_mpu: small TickTock regression (paper +8%).
+	if d := byMethod["setup_mpu"].PctDiff(); d < 0 || d > 30 {
+		t.Errorf("setup_mpu diff %+.1f%%, want small positive", d)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	rows := []Row{{Method: "brk", TickTock: 844.51, Tock: 1078.66}}
+	tab := Table(rows)
+	if !strings.Contains(tab, "brk") || !strings.Contains(tab, "-21.7") {
+		t.Fatalf("table:\n%s", tab)
+	}
+}
+
+func TestPctDiffZeroDenominator(t *testing.T) {
+	if (Row{Method: "x", TickTock: 5}).PctDiff() != 0 {
+		t.Fatal("zero Tock mean should give 0")
+	}
+}

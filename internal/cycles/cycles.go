@@ -1,0 +1,50 @@
+// Package cycles provides the deterministic cycle-cost model shared by the
+// hardware emulators and the instrumented kernel code paths. The costs are
+// architecturally plausible for a Cortex-M4-class core; what matters for
+// the paper's Figure 11 reproduction is that they are deterministic and
+// charged consistently, so relative comparisons between the monolithic and
+// granular implementations are meaningful.
+package cycles
+
+// Cost constants, in CPU cycles.
+const (
+	ALU       = 1  // add/sub/logic/shift/compare/move
+	Mul       = 1  // single-cycle multiplier
+	Div       = 12 // worst-case UDIV/SDIV
+	Load      = 2
+	Store     = 2
+	Branch    = 2 // taken branch pipeline refill
+	Call      = 4 // BL + prologue
+	MMIO      = 3 // store to a peripheral register (e.g. MPU RBAR/RASR)
+	Barrier   = 4 // ISB/DSB
+	Exception = 12
+	MSR       = 2
+)
+
+// Meter accumulates simulated CPU cycles. A nil *Meter is valid and
+// discards all charges, so uninstrumented call sites stay cheap.
+type Meter struct {
+	cycles uint64
+}
+
+// Add charges n cycles.
+func (m *Meter) Add(n uint64) {
+	if m != nil {
+		m.cycles += n
+	}
+}
+
+// Cycles returns the total charged so far.
+func (m *Meter) Cycles() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.cycles
+}
+
+// Reset zeroes the meter.
+func (m *Meter) Reset() {
+	if m != nil {
+		m.cycles = 0
+	}
+}

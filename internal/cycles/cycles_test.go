@@ -1,0 +1,25 @@
+package cycles
+
+import "testing"
+
+func TestMeterAccumulates(t *testing.T) {
+	var m Meter
+	m.Add(3)
+	m.Add(4)
+	if m.Cycles() != 7 {
+		t.Fatalf("cycles=%d", m.Cycles())
+	}
+	m.Reset()
+	if m.Cycles() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestNilMeterIsSafe(t *testing.T) {
+	var m *Meter
+	m.Add(5)
+	if m.Cycles() != 0 {
+		t.Fatal("nil meter recorded cycles")
+	}
+	m.Reset()
+}

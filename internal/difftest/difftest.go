@@ -1,0 +1,141 @@
+// Package difftest implements the paper's §6.1 differential-testing
+// campaign: every release-test case runs to completion on both kernel
+// flavours (Tock/monolithic and TickTock/granular) and the console outputs
+// are compared. Five cases are expected to differ — the ones printing
+// memory-layout details or cycle-dependent sensor values — and the
+// remaining sixteen must match byte for byte.
+package difftest
+
+import (
+	"fmt"
+	"strings"
+
+	"ticktock/internal/apps"
+	"ticktock/internal/kernel"
+)
+
+// DefaultQuanta bounds each run.
+const DefaultQuanta = 4000
+
+// Row is one line of the campaign table.
+type Row struct {
+	Name       string
+	ExpectDiff bool
+	Equal      bool
+	// TickTock and Tock hold the combined console output per flavour.
+	TickTock string
+	Tock     string
+	// States summarizes final process states per flavour.
+	TickTockStates string
+	TockStates     string
+}
+
+// OK reports whether the row matches its expectation.
+func (r Row) OK() bool { return r.Equal != r.ExpectDiff }
+
+// runOn executes the case on one kernel flavour and returns the combined
+// output and final states.
+func runOn(tc apps.TestCase, fl kernel.Flavour) (string, string, error) {
+	k, err := kernel.New(kernel.Options{Flavour: fl})
+	if err != nil {
+		return "", "", err
+	}
+	procs := make([]*kernel.Process, 0, len(tc.Apps))
+	for _, app := range tc.Apps {
+		p, err := k.LoadProcess(app)
+		if err != nil {
+			return "", "", fmt.Errorf("difftest %s on %s: %w", tc.Name, fl, err)
+		}
+		procs = append(procs, p)
+	}
+	quanta := tc.Quanta
+	if quanta == 0 {
+		quanta = DefaultQuanta
+	}
+	if _, err := k.Run(quanta); err != nil {
+		return "", "", fmt.Errorf("difftest %s on %s: %w", tc.Name, fl, err)
+	}
+	var out, states strings.Builder
+	for _, p := range procs {
+		fmt.Fprintf(&out, "[%s] %s", p.Name, k.Output(p))
+		fmt.Fprintf(&states, "%s=%s ", p.Name, p.State)
+	}
+	return out.String(), states.String(), nil
+}
+
+// RunCase executes one case on both flavours.
+func RunCase(tc apps.TestCase) (Row, error) {
+	tt, ttStates, err := runOn(tc, kernel.FlavourTickTock)
+	if err != nil {
+		return Row{}, err
+	}
+	tk, tkStates, err := runOn(tc, kernel.FlavourTock)
+	if err != nil {
+		return Row{}, err
+	}
+	return Row{
+		Name:           tc.Name,
+		ExpectDiff:     tc.ExpectDiff,
+		Equal:          tt == tk,
+		TickTock:       tt,
+		Tock:           tk,
+		TickTockStates: ttStates,
+		TockStates:     tkStates,
+	}, nil
+}
+
+// RunAll executes the whole campaign.
+func RunAll() ([]Row, error) {
+	var rows []Row
+	for _, tc := range apps.All() {
+		row, err := RunCase(tc)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Summary tallies a campaign result.
+type Summary struct {
+	Total, Equal, Differing, Unexpected int
+}
+
+// Summarize computes the §6.1 headline numbers.
+func Summarize(rows []Row) Summary {
+	var s Summary
+	s.Total = len(rows)
+	for _, r := range rows {
+		if r.Equal {
+			s.Equal++
+		} else {
+			s.Differing++
+		}
+		if !r.OK() {
+			s.Unexpected++
+		}
+	}
+	return s
+}
+
+// Table renders the campaign as text.
+func Table(rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %-8s %-10s %s\n", "test", "equal", "expected", "verdict")
+	for _, r := range rows {
+		verdict := "ok"
+		if !r.OK() {
+			verdict = "UNEXPECTED"
+		}
+		expected := "match"
+		if r.ExpectDiff {
+			expected = "differ"
+		}
+		fmt.Fprintf(&b, "%-18s %-8v %-10s %s\n", r.Name, r.Equal, expected, verdict)
+	}
+	s := Summarize(rows)
+	fmt.Fprintf(&b, "\n%d tests, %d identical, %d differing (%d unexpected)\n",
+		s.Total, s.Equal, s.Differing, s.Unexpected)
+	return b.String()
+}

@@ -1,0 +1,72 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+
+	"ticktock/internal/apps"
+)
+
+func TestCampaignHasTwentyOneCases(t *testing.T) {
+	cases := apps.All()
+	if len(cases) != 21 {
+		t.Fatalf("cases=%d, want 21 (paper §6.1)", len(cases))
+	}
+	diff := 0
+	for _, tc := range cases {
+		if tc.ExpectDiff {
+			diff++
+		}
+	}
+	if diff != 5 {
+		t.Fatalf("expected-diff cases=%d, want 5 (paper §6.1)", diff)
+	}
+}
+
+func TestDifferentialCampaign(t *testing.T) {
+	rows, err := RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.OK() {
+			t.Errorf("%s: equal=%v expectDiff=%v\n ticktock: %q\n tock:     %q",
+				r.Name, r.Equal, r.ExpectDiff, r.TickTock, r.Tock)
+		}
+	}
+	s := Summarize(rows)
+	if s.Total != 21 || s.Differing != 5 || s.Unexpected != 0 {
+		t.Fatalf("summary=%+v", s)
+	}
+}
+
+func TestStackGrowthStillFaultsOnBothKernels(t *testing.T) {
+	// The paper's point about the Stack Growth test: outputs differ (the
+	// printed layout), but the *behaviour* — faulting on the overrun —
+	// is identical.
+	for _, tc := range apps.All() {
+		if tc.Name != "stack_growth" {
+			continue
+		}
+		row, err := RunCase(tc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, out := range []string{row.TickTock, row.Tock} {
+			if !strings.Contains(out, "panic: process stack_growth faulted") {
+				t.Fatalf("missing fault: %q", out)
+			}
+		}
+		if !strings.Contains(row.TickTockStates, "faulted") || !strings.Contains(row.TockStates, "faulted") {
+			t.Fatalf("states: %s / %s", row.TickTockStates, row.TockStates)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	rows := []Row{{Name: "x", Equal: true}, {Name: "y", Equal: false, ExpectDiff: true}}
+	tab := Table(rows)
+	if !strings.Contains(tab, "2 tests, 1 identical, 1 differing (0 unexpected)") {
+		t.Fatalf("table:\n%s", tab)
+	}
+}

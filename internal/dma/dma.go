@@ -1,0 +1,170 @@
+// Package dma models the DMA problem of the paper's §4.6 and TickTock's
+// solution. A DMA engine is programmed through an MMIO base-pointer/length
+// register pair holding plain integers; nothing in the hardware stops a
+// driver from pointing it at kernel memory or at a buffer the driver is
+// still reading. Tock's TakeCell was *intended* to make this sound via
+// ownership transfer, but could be misused to alias a live DMA buffer.
+//
+// TickTock's DMACell closes both holes: placing a buffer yields a Wrapper
+// (the only value the engine's safe configuration path accepts, so the
+// base pointer is always a valid placed buffer), and the buffer can only
+// be retrieved once the engine reports the transfer complete. Go enforces
+// dynamically what Rust's borrow checker enforces statically; the tests
+// demonstrate both the hazard on the legacy path and its absence on the
+// new one.
+package dma
+
+import (
+	"errors"
+	"fmt"
+
+	"ticktock/internal/armv7m"
+)
+
+// Engine is a simulated single-channel DMA engine that fills a memory
+// range with a byte pattern, advancing one byte per cycle. (A fill engine
+// exercises the same ownership hazards as a transfer engine with half the
+// bookkeeping.)
+type Engine struct {
+	mem  *armv7m.Memory
+	busy bool
+	addr uint32
+	left uint32
+	fill byte
+	// Transferred counts total bytes written, for tests.
+	Transferred uint64
+}
+
+// NewEngine returns an idle engine over the given physical memory.
+func NewEngine(mem *armv7m.Memory) *Engine { return &Engine{mem: mem} }
+
+// Busy reports whether a transfer is in flight.
+func (e *Engine) Busy() bool { return e.busy }
+
+// ConfigureRaw programs the base/length registers directly with integers —
+// the legacy MMIO path. Nothing validates the target; this is the escape
+// hatch §4.6 identifies. Retained (and exercised by tests and the
+// dma-safety example) to demonstrate the hazard; new code must use
+// Configure.
+func (e *Engine) ConfigureRaw(base, length uint32, fill byte) error {
+	if e.busy {
+		return errors.New("dma: engine busy")
+	}
+	e.addr, e.left, e.fill = base, length, fill
+	e.busy = length > 0
+	return nil
+}
+
+// Configure programs the engine from a Wrapper, the only safe entry: the
+// wrapper can only have come from Cell.Place, so the base pointer is a
+// placed, kernel-validated buffer.
+func (e *Engine) Configure(w Wrapper, fill byte) error {
+	if w.cell == nil || !w.valid {
+		return errors.New("dma: wrapper not produced by a DMACell")
+	}
+	if err := e.ConfigureRaw(w.base, w.length, fill); err != nil {
+		return err
+	}
+	w.cell.engine = e
+	return nil
+}
+
+// Advance runs the engine for n cycles (one byte per cycle).
+func (e *Engine) Advance(n uint64) error {
+	for ; e.busy && n > 0; n-- {
+		if err := e.mem.StoreByte(e.addr, e.fill); err != nil {
+			e.busy = false
+			return fmt.Errorf("dma: transfer fault: %w", err)
+		}
+		e.addr++
+		e.left--
+		e.Transferred++
+		if e.left == 0 {
+			e.busy = false
+		}
+	}
+	return nil
+}
+
+// Buffer identifies an owned memory span handed to the DMA subsystem.
+type Buffer struct {
+	Addr uint32
+	Len  uint32
+}
+
+// TakeCell reproduces the unsound pattern: it stores a buffer and hands it
+// back on demand, with no knowledge of whether DMA still owns it. The
+// misuse the paper found — take the buffer back while the engine is
+// writing it — type-checks (here: compiles and runs) and corrupts data.
+type TakeCell struct {
+	buf *Buffer
+}
+
+// Put stores a buffer, displacing any previous one.
+func (c *TakeCell) Put(b Buffer) { c.buf = &b }
+
+// Take removes and returns the buffer; ok is false when empty. Note the
+// absence of any completed-transfer check.
+func (c *TakeCell) Take() (Buffer, bool) {
+	if c.buf == nil {
+		return Buffer{}, false
+	}
+	b := *c.buf
+	c.buf = nil
+	return b, true
+}
+
+// Cell is the safe DMACell (paper Figure 9): it takes ownership of a
+// buffer at Place and releases it only when the bound engine is idle.
+type Cell struct {
+	buf    *Buffer
+	engine *Engine
+}
+
+// Errors from the safe cell.
+var (
+	ErrCellOccupied = errors.New("dma: cell occupied, transfer may be in progress")
+	ErrCellEmpty    = errors.New("dma: cell empty")
+	ErrDMARunning   = errors.New("dma: transfer still in progress")
+)
+
+// Wrapper corresponds to the paper's DmaWrapper: a base-pointer value that
+// provably refers to a placed buffer.
+type Wrapper struct {
+	base   uint32
+	length uint32
+	valid  bool
+	cell   *Cell
+}
+
+// Base exposes the raw register value (for display/diagnostics only; the
+// engine takes the whole wrapper).
+func (w Wrapper) Base() uint32 { return w.base }
+
+// Place transfers ownership of the buffer into the cell and returns the
+// wrapper used to start the transfer. It fails if a buffer is already
+// placed (the "cannot replace, DMA in progress" branch of Figure 9).
+func (c *Cell) Place(b Buffer) (Wrapper, error) {
+	if c.buf != nil {
+		return Wrapper{}, ErrCellOccupied
+	}
+	c.buf = &b
+	return Wrapper{base: b.Addr, length: b.Len, valid: true, cell: c}, nil
+}
+
+// Completed returns the buffer once the transfer has finished. Unlike the
+// paper's unsafe-marked method, the simulation can check the engine state
+// and refuse early retrieval — the dynamic analogue of the ownership
+// obligation the Rust caller must discharge.
+func (c *Cell) Completed() (Buffer, error) {
+	if c.buf == nil {
+		return Buffer{}, ErrCellEmpty
+	}
+	if c.engine != nil && c.engine.Busy() {
+		return Buffer{}, ErrDMARunning
+	}
+	b := *c.buf
+	c.buf = nil
+	c.engine = nil
+	return b, nil
+}

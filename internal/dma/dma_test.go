@@ -1,0 +1,206 @@
+package dma
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"ticktock/internal/armv7m"
+)
+
+func newMem(t *testing.T) *armv7m.Memory {
+	t.Helper()
+	m := armv7m.NewMemory()
+	if _, err := m.Map("ram", 0x2000_0000, 0x1_0000); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestEngineFillsRange(t *testing.T) {
+	mem := newMem(t)
+	e := NewEngine(mem)
+	if err := e.ConfigureRaw(0x2000_0100, 16, 0xAB); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Busy() {
+		t.Fatal("engine not busy after configure")
+	}
+	if err := e.Advance(16); err != nil {
+		t.Fatal(err)
+	}
+	if e.Busy() {
+		t.Fatal("engine still busy after full transfer")
+	}
+	for i := uint32(0); i < 16; i++ {
+		b, _ := mem.LoadByte(0x2000_0100 + i)
+		if b != 0xAB {
+			t.Fatalf("byte %d = 0x%02x", i, b)
+		}
+	}
+	// Neighbours untouched.
+	if b, _ := mem.LoadByte(0x2000_0100 + 16); b != 0 {
+		t.Fatal("DMA wrote past the range")
+	}
+	if b, _ := mem.LoadByte(0x2000_00FF); b != 0 {
+		t.Fatal("DMA wrote before the range")
+	}
+}
+
+func TestEngineRejectsConfigureWhileBusy(t *testing.T) {
+	e := NewEngine(newMem(t))
+	if err := e.ConfigureRaw(0x2000_0000, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ConfigureRaw(0x2000_0100, 8, 2); err == nil {
+		t.Fatal("reconfigure while busy accepted")
+	}
+}
+
+func TestEngineFaultsOnUnmappedTarget(t *testing.T) {
+	e := NewEngine(newMem(t))
+	// The raw path happily accepts a bogus pointer — the §4.6 hazard —
+	// and the fault only shows up when the transfer runs.
+	if err := e.ConfigureRaw(0xDEAD_0000, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Advance(8); err == nil {
+		t.Fatal("transfer to unmapped memory did not fault")
+	}
+}
+
+func TestTakeCellHazard(t *testing.T) {
+	// The misuse the paper found: the driver takes the buffer back while
+	// DMA is mid-transfer and reads torn data.
+	mem := newMem(t)
+	e := NewEngine(mem)
+	var cell TakeCell
+	buf := Buffer{Addr: 0x2000_0200, Len: 8}
+	cell.Put(buf)
+
+	if err := e.ConfigureRaw(buf.Addr, buf.Len, 0xFF); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Advance(4); err != nil { // half the transfer
+		t.Fatal(err)
+	}
+	got, ok := cell.Take() // nothing stops this
+	if !ok {
+		t.Fatal("TakeCell refused take — hazard reproduction broken")
+	}
+	half, _ := mem.LoadByte(got.Addr + 2)
+	tail, _ := mem.LoadByte(got.Addr + 6)
+	if half != 0xFF || tail != 0x00 {
+		t.Fatalf("expected torn buffer, got half=0x%02x tail=0x%02x", half, tail)
+	}
+	// And DMA keeps writing memory the driver now "owns".
+	if err := e.Advance(4); err != nil {
+		t.Fatal(err)
+	}
+	tail, _ = mem.LoadByte(got.Addr + 6)
+	if tail != 0xFF {
+		t.Fatal("engine stopped early — hazard reproduction broken")
+	}
+}
+
+func TestDMACellPreventsEarlyRetrieval(t *testing.T) {
+	mem := newMem(t)
+	e := NewEngine(mem)
+	var cell Cell
+	w, err := cell.Place(Buffer{Addr: 0x2000_0300, Len: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Configure(w, 0x5A); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Advance(4); err != nil {
+		t.Fatal(err)
+	}
+	// Mid-transfer retrieval is refused.
+	if _, err := cell.Completed(); !errors.Is(err, ErrDMARunning) {
+		t.Fatalf("early Completed: %v", err)
+	}
+	// Re-placing while occupied is refused.
+	if _, err := cell.Place(Buffer{Addr: 0x2000_0400, Len: 4}); !errors.Is(err, ErrCellOccupied) {
+		t.Fatalf("double Place: %v", err)
+	}
+	if err := e.Advance(4); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cell.Completed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Addr != 0x2000_0300 {
+		t.Fatalf("wrong buffer back: %+v", got)
+	}
+	// Buffer fully written, no tearing possible.
+	for i := uint32(0); i < 8; i++ {
+		b, _ := mem.LoadByte(got.Addr + i)
+		if b != 0x5A {
+			t.Fatalf("byte %d = 0x%02x", i, b)
+		}
+	}
+	// Cell is reusable afterwards.
+	if _, err := cell.Place(Buffer{Addr: 0x2000_0400, Len: 4}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDMACellCompletedOnEmpty(t *testing.T) {
+	var cell Cell
+	if _, err := cell.Completed(); !errors.Is(err, ErrCellEmpty) {
+		t.Fatalf("empty Completed: %v", err)
+	}
+}
+
+func TestEngineRejectsForgedWrapper(t *testing.T) {
+	e := NewEngine(newMem(t))
+	// A zero-value wrapper (not produced by Place) must be rejected: the
+	// base-pointer register can only ever hold a placed buffer address.
+	if err := e.Configure(Wrapper{}, 1); err == nil {
+		t.Fatal("forged wrapper accepted")
+	}
+}
+
+// Property: under any interleaving of Advance steps, Completed never
+// returns a buffer before the engine finished writing all bytes, so the
+// returned buffer is never torn.
+func TestDMACellNoTearingProperty(t *testing.T) {
+	f := func(steps []uint8) bool {
+		mem := armv7m.NewMemory()
+		if _, err := mem.Map("ram", 0x2000_0000, 0x1000); err != nil {
+			return false
+		}
+		e := NewEngine(mem)
+		var cell Cell
+		buf := Buffer{Addr: 0x2000_0080, Len: 32}
+		w, err := cell.Place(buf)
+		if err != nil {
+			return false
+		}
+		if err := e.Configure(w, 0x77); err != nil {
+			return false
+		}
+		for _, s := range steps {
+			if err := e.Advance(uint64(s % 8)); err != nil {
+				return false
+			}
+			if got, err := cell.Completed(); err == nil {
+				// Retrieval succeeded: every byte must be written.
+				for i := uint32(0); i < got.Len; i++ {
+					b, _ := mem.LoadByte(got.Addr + i)
+					if b != 0x77 {
+						return false
+					}
+				}
+				return true
+			}
+		}
+		return true // never completed within the steps: fine
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

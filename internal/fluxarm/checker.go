@@ -1,0 +1,130 @@
+package fluxarm
+
+import (
+	"math/rand"
+
+	"ticktock/internal/armv7m"
+	"ticktock/internal/core"
+	"ticktock/internal/mpu"
+)
+
+// Checker drives the modelled round trip through many initial states —
+// the bounded-enumeration analogue of the paper's SMT proof over all
+// states.
+
+// Fixture describes one initial machine state for the round trip.
+type Fixture struct {
+	// Seed drives the adversarial process havoc.
+	Seed int64
+	// KernelRegs are the callee-saved register values the kernel holds
+	// across the switch.
+	KernelRegs [8]uint32
+	// Exception is the preempting exception number.
+	Exception uint32
+}
+
+// NewFixtureArm7 builds a machine in kernel state with a loaded process
+// frame, a configured MPU (via the verified granular driver) and the
+// given kernel register values.
+func NewFixtureArm7(fx Fixture, missedModeSwitch bool) (*Arm7, error) {
+	mem := armv7m.NewMemory()
+	if _, err := mem.Map("flash", 0x0000_0000, 0x10000); err != nil {
+		return nil, err
+	}
+	if _, err := mem.Map("ram", 0x2000_0000, 0x10000); err != nil {
+		return nil, err
+	}
+	m := armv7m.NewMachine(mem)
+
+	// Process memory and MPU configuration through the verified stack.
+	drv := core.NewCortexMMPU(m.MPU)
+	alloc := core.NewAllocator[core.CortexMRegion](drv, core.Config{})
+	if err := alloc.AllocateAppMemory(0x2000_0000, 0x8000, 8192, 2048, 512, 0x0000_0000, 0x1000); err != nil {
+		return nil, err
+	}
+	if err := alloc.ConfigureMPU(); err != nil {
+		return nil, err
+	}
+	b := alloc.Breaks()
+
+	a := &Arm7{
+		M:                m,
+		ProcStart:        b.MemoryStart(),
+		ProcEnd:          b.AppBreak(),
+		MissedModeSwitch: missedModeSwitch,
+	}
+
+	// Kernel thread state.
+	cpu := &m.CPU
+	cpu.Mode = armv7m.ModeThread
+	cpu.Control = 0
+	cpu.MSP = 0x2000_F000
+	copy(cpu.R[4:12], fx.KernelRegs[:])
+
+	// A process frame ready on the process stack.
+	psp := b.AppBreak() - 64
+	frame := [8]uint32{0, 0, 0, 0, 0, 0xFFFF_FFFF, 0x0000_0040, 0}
+	for i, w := range frame {
+		if err := mem.WriteWord(psp+uint32(4*i), w); err != nil {
+			return nil, err
+		}
+	}
+	cpu.PSP = psp
+	return a, nil
+}
+
+// CheckRoundTrip runs the modelled kernel→process→kernel control flow for
+// one fixture and returns the first contract violation, or nil.
+func CheckRoundTrip(fx Fixture, missedModeSwitch bool) error {
+	a, err := NewFixtureArm7(fx, missedModeSwitch)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(fx.Seed))
+	return a.ControlFlowKernelToKernel(fx.Exception, rng)
+}
+
+// Fixtures enumerates the bounded state space the checker sweeps: kernel
+// register patterns × preempting exception numbers × havoc seeds.
+func Fixtures(seeds int) []Fixture {
+	regPatterns := [][8]uint32{
+		{},
+		{1, 2, 3, 4, 5, 6, 7, 8},
+		{0xFFFF_FFFF, 0xAAAA_AAAA, 0x5555_5555, 0xDEAD_BEEF, 0, 1, 0x8000_0000, 42},
+	}
+	excs := []uint32{armv7m.ExcSysTick, armv7m.ExcSVCall, 16, 42}
+	var out []Fixture
+	for s := 0; s < seeds; s++ {
+		for _, regs := range regPatterns {
+			for _, e := range excs {
+				out = append(out, Fixture{Seed: int64(s*7919 + 13), KernelRegs: regs, Exception: e})
+			}
+		}
+	}
+	return out
+}
+
+// VerifyInterruptIsolation sweeps all fixtures and returns every contract
+// violation found (empty means the obligation holds over the bounded
+// space). This is the entry point the verification benchmarks time.
+func VerifyInterruptIsolation(seeds int, missedModeSwitch bool) []error {
+	var errs []error
+	for _, fx := range Fixtures(seeds) {
+		if err := CheckRoundTrip(fx, missedModeSwitch); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errs
+}
+
+// userCannotTouchKernel double-checks, at the hardware level, that the
+// fixture's MPU configuration denies user access to kernel RAM — the
+// assumption Process()'s unprivileged havoc encodes.
+func userCannotTouchKernel(a *Arm7) bool {
+	for _, addr := range []uint32{0x2000_EF00, 0x2000_F000 - 4, a.ProcEnd + 512} {
+		if a.M.MPU.Check(addr, mpu.AccessWrite, false) == nil {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,171 @@
+// Package fluxarm is the Go rendition of the paper's FluxArm (§4.5): an
+// executable model of the ARMv7-M instructions Tock's interrupt handlers
+// and context-switch assembly use, with each instruction carrying an
+// explicit contract (precondition) that the checker enforces, and handler
+// models composed from those instructions.
+//
+// Where the paper writes Flux refinement contracts over an Arm7 state
+// record and discharges them with SMT, this package checks the same
+// contracts dynamically while a bounded checker drives the composed
+// models — including an adversarial "process()" havoc step — through many
+// initial states, verifying the paper's cpu_state_correct postcondition:
+// after a full kernel→process→interrupt→kernel round trip, the
+// callee-saved registers and the kernel stack pointer are unchanged and
+// the CPU is back in privileged Thread mode. The missed-mode-switch bug
+// (tock#4246) is available as a toggle and is caught by exactly this
+// postcondition.
+package fluxarm
+
+import (
+	"fmt"
+
+	"ticktock/internal/armv7m"
+)
+
+// ContractViolation reports a failed instruction precondition or handler
+// postcondition.
+type ContractViolation struct {
+	Instr  string
+	Clause string
+	Detail string
+}
+
+// Error implements the error interface.
+func (v *ContractViolation) Error() string {
+	return fmt.Sprintf("fluxarm: %s: %s (%s)", v.Instr, v.Clause, v.Detail)
+}
+
+// Arm7 is the modelled machine state (paper Figure 7, left): it wraps the
+// emulator's CPU/memory/MPU plus the ghost state the proofs need — the
+// process memory bounds (to define what havoc may touch) and the kernel's
+// saved copy of the process registers.
+type Arm7 struct {
+	M *armv7m.Machine
+
+	// ProcStart/ProcEnd delimit the process-writable RAM; the havoc
+	// step may only mutate this range when the CPU is unprivileged.
+	ProcStart, ProcEnd uint32
+
+	// ProcRegs is the kernel's store of the process's callee-saved
+	// registers across switches.
+	ProcRegs [8]uint32
+
+	// MissedModeSwitch reproduces tock#4246 in the modelled assembly.
+	MissedModeSwitch bool
+}
+
+// --- instruction models with contracts (paper Figure 7, right) ---
+
+// MovwImm models `movw rd, #imm16`.
+func (a *Arm7) MovwImm(rd armv7m.GPR, imm uint16) {
+	a.M.CPU.R[rd] = uint32(imm)
+	a.M.Meter.Add(armv7m.CostALU)
+}
+
+// Msr models `msr spec, rn`. Contract (paper): the destination must not
+// be IPSR, and a stack-pointer write must carry a valid RAM address.
+func (a *Arm7) Msr(spec armv7m.SpecialReg, rn armv7m.GPR) error {
+	v := a.M.CPU.R[rn]
+	if spec == armv7m.SpecIPSR {
+		return &ContractViolation{Instr: "msr", Clause: "!is_ipsr(reg)", Detail: "write to IPSR"}
+	}
+	if spec == armv7m.SpecMSP || spec == armv7m.SpecPSP {
+		if a.M.Mem.Segment(v) == nil {
+			return &ContractViolation{Instr: "msr", Clause: "is_valid_ram_addr(val)",
+				Detail: fmt.Sprintf("sp value 0x%08x unmapped", v)}
+		}
+	}
+	in := armv7m.MSR{Spec: spec, Rn: rn}
+	if err := in.Exec(a.M); err != nil {
+		return err
+	}
+	a.M.Meter.Add(armv7m.CostMSR)
+	return nil
+}
+
+// Isb models the `isb` barrier.
+func (a *Arm7) Isb() {
+	in := armv7m.ISB{}
+	_ = in.Exec(a.M)
+	a.M.Meter.Add(armv7m.CostBarrier)
+}
+
+// PseudoLdrSpecial models loading an EXC_RETURN constant into LR, the
+// `ldr lr, =0xFFFFFFF9` idiom. Contract: the value must be a valid
+// EXC_RETURN encoding.
+func (a *Arm7) PseudoLdrSpecial(v uint32) error {
+	if !armv7m.IsExcReturn(v) {
+		return &ContractViolation{Instr: "ldr lr", Clause: "is_exc_return(v)",
+			Detail: fmt.Sprintf("0x%08x", v)}
+	}
+	a.M.CPU.LR = v
+	a.M.Meter.Add(armv7m.CostLoad)
+	return nil
+}
+
+// StoreCalleeRegs models `stmia rX!, {r4-r11}` into the kernel's process
+// register store (Tock saves process registers into the process struct).
+func (a *Arm7) StoreCalleeRegs() {
+	copy(a.ProcRegs[:], a.M.CPU.R[4:12])
+	a.M.Meter.Add(8 * armv7m.CostStore)
+}
+
+// LoadCalleeRegs models `ldmia rX!, {r4-r11}` from the process register
+// store.
+func (a *Arm7) LoadCalleeRegs() {
+	copy(a.M.CPU.R[4:12], a.ProcRegs[:])
+	a.M.Meter.Add(8 * armv7m.CostLoad)
+}
+
+// PushKernelRegs models `push {r4-r11}` on the kernel (main) stack.
+// Contract: must execute in a context using MSP.
+func (a *Arm7) PushKernelRegs() error {
+	cpu := &a.M.CPU
+	if cpu.Mode == armv7m.ModeThread && cpu.Control&armv7m.ControlSPSel != 0 {
+		return &ContractViolation{Instr: "push {r4-r11}", Clause: "uses_msp", Detail: "executed on PSP"}
+	}
+	sp := cpu.MSP - 32
+	for i := 0; i < 8; i++ {
+		if err := a.M.Mem.WriteWord(sp+uint32(4*i), cpu.R[4+i]); err != nil {
+			return err
+		}
+	}
+	cpu.MSP = sp
+	a.M.Meter.Add(8 * armv7m.CostStore)
+	return nil
+}
+
+// PopKernelRegs models `pop {r4-r11}` from the kernel stack.
+func (a *Arm7) PopKernelRegs() error {
+	cpu := &a.M.CPU
+	if cpu.Mode == armv7m.ModeThread && cpu.Control&armv7m.ControlSPSel != 0 {
+		return &ContractViolation{Instr: "pop {r4-r11}", Clause: "uses_msp", Detail: "executed on PSP"}
+	}
+	for i := 0; i < 8; i++ {
+		w, err := a.M.Mem.ReadWord(cpu.MSP + uint32(4*i))
+		if err != nil {
+			return err
+		}
+		cpu.R[4+i] = w
+	}
+	cpu.MSP += 32
+	a.M.Meter.Add(8 * armv7m.CostLoad)
+	return nil
+}
+
+// ExceptionReturn models `bx lr` with an EXC_RETURN value in LR.
+// Contract: handler mode, LR holds a valid EXC_RETURN, and — the clause
+// whose absence is tock#4246 — returning to Thread/PSP requires
+// CONTROL.nPRIV set unless the model is deliberately running the bug.
+func (a *Arm7) ExceptionReturn() error {
+	cpu := &a.M.CPU
+	if cpu.Mode != armv7m.ModeHandler {
+		return &ContractViolation{Instr: "bx lr", Clause: "mode_is_handler", Detail: cpu.Mode.String()}
+	}
+	if !armv7m.IsExcReturn(cpu.LR) {
+		return &ContractViolation{Instr: "bx lr", Clause: "is_exc_return(lr)",
+			Detail: fmt.Sprintf("lr=0x%08x", cpu.LR)}
+	}
+	in := armv7m.BXLR{}
+	return in.Exec(a.M)
+}

@@ -1,0 +1,258 @@
+package fluxarm
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ticktock/internal/armv7m"
+)
+
+func fixtureArm7(t *testing.T, bug bool) *Arm7 {
+	t.Helper()
+	a, err := NewFixtureArm7(Fixture{Seed: 1, KernelRegs: [8]uint32{1, 2, 3, 4, 5, 6, 7, 8}, Exception: armv7m.ExcSysTick}, bug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestFixtureMPUEnforcesKernelBoundary(t *testing.T) {
+	a := fixtureArm7(t, false)
+	if !userCannotTouchKernel(a) {
+		t.Fatal("fixture MPU admits user writes to kernel RAM")
+	}
+}
+
+func TestMsrContractRejectsIPSR(t *testing.T) {
+	a := fixtureArm7(t, false)
+	err := a.Msr(armv7m.SpecIPSR, armv7m.R0)
+	var cv *ContractViolation
+	if !errors.As(err, &cv) || cv.Clause != "!is_ipsr(reg)" {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestMsrContractRejectsBadStackPointer(t *testing.T) {
+	a := fixtureArm7(t, false)
+	a.M.CPU.R[armv7m.R1] = 0xDDDD_0000 // unmapped
+	err := a.Msr(armv7m.SpecPSP, armv7m.R1)
+	var cv *ContractViolation
+	if !errors.As(err, &cv) || !strings.Contains(cv.Clause, "is_valid_ram_addr") {
+		t.Fatalf("err=%v", err)
+	}
+	// A valid pointer is accepted.
+	a.M.CPU.R[armv7m.R1] = 0x2000_0800
+	if err := a.Msr(armv7m.SpecPSP, armv7m.R1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPseudoLdrSpecialContract(t *testing.T) {
+	a := fixtureArm7(t, false)
+	if err := a.PseudoLdrSpecial(0x1234); err == nil {
+		t.Fatal("non-EXC_RETURN accepted")
+	}
+	if err := a.PseudoLdrSpecial(armv7m.ExcReturnThreadMSP); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSysTickISRContractAndPost(t *testing.T) {
+	a := fixtureArm7(t, false)
+	// Outside handler mode: precondition fails.
+	if _, err := a.SysTickISR(); err == nil {
+		t.Fatal("sys_tick_isr ran in thread mode")
+	}
+	// In handler mode: returns the kernel EXC_RETURN with CONTROL clear.
+	a.M.CPU.Mode = armv7m.ModeHandler
+	a.M.CPU.Control = armv7m.ControlNPriv | armv7m.ControlSPSel
+	lr, err := a.SysTickISR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr != armv7m.ExcReturnThreadMSP {
+		t.Fatalf("lr=0x%08x", lr)
+	}
+	if a.M.CPU.Control != 0 {
+		t.Fatalf("control=0x%x", a.M.CPU.Control)
+	}
+}
+
+func TestSwitchToUserPart1RequiresPrivilegedThread(t *testing.T) {
+	a := fixtureArm7(t, false)
+	a.M.CPU.Mode = armv7m.ModeHandler
+	if err := a.SwitchToUserPart1(); err == nil {
+		t.Fatal("part1 ran in handler mode")
+	}
+	a.M.CPU.Mode = armv7m.ModeThread
+	a.M.CPU.Control = armv7m.ControlNPriv
+	if err := a.SwitchToUserPart1(); err == nil {
+		t.Fatal("part1 ran unprivileged")
+	}
+}
+
+func TestRoundTripHoldsWhenCorrect(t *testing.T) {
+	if errs := VerifyInterruptIsolation(8, false); len(errs) != 0 {
+		t.Fatalf("correct context switch violated contracts: %v", errs[0])
+	}
+}
+
+func TestRoundTripCatchesMissedModeSwitch(t *testing.T) {
+	errs := VerifyInterruptIsolation(8, true)
+	if len(errs) == 0 {
+		t.Fatal("checker missed tock#4246")
+	}
+	// Every violation should be a contract violation, typically
+	// cpu_state_correct or the mode clause.
+	var cv *ContractViolation
+	if !errors.As(errs[0], &cv) {
+		t.Fatalf("unexpected error type: %v", errs[0])
+	}
+	t.Logf("first violation: %v (of %d)", errs[0], len(errs))
+}
+
+func TestProcessHavocRespectsMPUWhenUnprivileged(t *testing.T) {
+	a := fixtureArm7(t, false)
+	// Put the CPU in unprivileged thread mode (as a correct switch
+	// leaves it) and snapshot kernel memory.
+	a.M.CPU.Mode = armv7m.ModeThread
+	a.M.CPU.Control = armv7m.ControlNPriv | armv7m.ControlSPSel
+	before := make([]uint32, 16)
+	for i := range before {
+		before[i], _ = a.M.Mem.ReadWord(0x2000_EF00 + uint32(4*i))
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 50; i++ {
+		if err := a.Process(rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range before {
+		now, _ := a.M.Mem.ReadWord(0x2000_EF00 + uint32(4*i))
+		if now != before[i] {
+			t.Fatal("unprivileged havoc reached kernel memory")
+		}
+	}
+}
+
+func TestProcessHavocAttacksKernelWhenPrivileged(t *testing.T) {
+	a := fixtureArm7(t, true)
+	a.M.CPU.Mode = armv7m.ModeThread
+	a.M.CPU.Control = armv7m.ControlSPSel // privileged: the bug's outcome
+	a.M.CPU.MSP = 0x2000_F000
+	rng := rand.New(rand.NewSource(7))
+	changed := false
+	for i := 0; i < 20 && !changed; i++ {
+		if err := a.Process(rng); err != nil {
+			t.Fatal(err)
+		}
+		for off := uint32(0); off < 128; off += 4 {
+			v, _ := a.M.Mem.ReadWord(0x2000_F000 - 64 + off)
+			if v != 0 {
+				changed = true
+				break
+			}
+		}
+	}
+	if !changed {
+		t.Fatal("privileged havoc never touched kernel stack — adversary too weak")
+	}
+}
+
+func TestExceptionReturnContract(t *testing.T) {
+	a := fixtureArm7(t, false)
+	if err := a.ExceptionReturn(); err == nil {
+		t.Fatal("exception return in thread mode accepted")
+	}
+	a.M.CPU.Mode = armv7m.ModeHandler
+	a.M.CPU.LR = 0x1000
+	if err := a.ExceptionReturn(); err == nil {
+		t.Fatal("bad EXC_RETURN accepted")
+	}
+}
+
+func TestPushPopKernelRegsBalance(t *testing.T) {
+	a := fixtureArm7(t, false)
+	want := a.M.CPU.R
+	msp := a.M.CPU.MSP
+	if err := a.PushKernelRegs(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 4; i < 12; i++ {
+		a.M.CPU.R[i] = 0
+	}
+	if err := a.PopKernelRegs(); err != nil {
+		t.Fatal(err)
+	}
+	if a.M.CPU.R != want || a.M.CPU.MSP != msp {
+		t.Fatal("push/pop not balanced")
+	}
+}
+
+func TestFixturesEnumerateSpace(t *testing.T) {
+	fxs := Fixtures(3)
+	if len(fxs) != 3*3*4 {
+		t.Fatalf("fixtures=%d", len(fxs))
+	}
+	seen := map[uint32]bool{}
+	for _, fx := range fxs {
+		seen[fx.Exception] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("exception coverage=%v", seen)
+	}
+}
+
+func TestProcessSyscallRoundTrip(t *testing.T) {
+	a := fixtureArm7(t, false)
+	// Put the machine in a running-process state: unprivileged thread
+	// on PSP with distinctive callee-saved registers.
+	cpu := &a.M.CPU
+	cpu.Mode = armv7m.ModeThread
+	cpu.Control = armv7m.ControlNPriv | armv7m.ControlSPSel
+	for i := 0; i < 8; i++ {
+		cpu.R[4+i] = 0x1111_0000 + uint32(i)
+	}
+	cpu.PSP = a.ProcEnd - 128
+	cpu.PC = 0x40
+	if err := a.ControlFlowProcessSyscall(); err != nil {
+		t.Fatalf("syscall round trip: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		if cpu.R[4+i] != 0x1111_0000+uint32(i) {
+			t.Fatalf("r%d clobbered: 0x%x", 4+i, cpu.R[4+i])
+		}
+	}
+}
+
+func TestProcessSyscallRoundTripRequiresUserMode(t *testing.T) {
+	a := fixtureArm7(t, false)
+	a.M.CPU.Mode = armv7m.ModeThread
+	a.M.CPU.Control = 0 // privileged: precondition must fail
+	if err := a.ControlFlowProcessSyscall(); err == nil {
+		t.Fatal("privileged caller accepted")
+	}
+}
+
+func TestProcessSyscallDirectionToleratesModeBug(t *testing.T) {
+	// The missed-mode-switch bug only escalates privileges on the
+	// kernel→process direction (where CONTROL.nPRIV was clear). In the
+	// process-syscall direction nPRIV was already set before the
+	// exception, so even the buggy assembly returns the process
+	// unprivileged — which is exactly why the bug survived testing that
+	// exercised only syscalls: the checker's kernel→kernel sweep is the
+	// path that flags it (TestRoundTripCatchesMissedModeSwitch).
+	a := fixtureArm7(t, true) // MissedModeSwitch
+	cpu := &a.M.CPU
+	cpu.Mode = armv7m.ModeThread
+	cpu.Control = armv7m.ControlNPriv | armv7m.ControlSPSel
+	cpu.PSP = a.ProcEnd - 128
+	if err := a.ControlFlowProcessSyscall(); err != nil {
+		t.Fatalf("unexpected contract failure: %v", err)
+	}
+	if cpu.Privileged() {
+		t.Fatal("syscall direction escalated privileges — model wrong")
+	}
+}

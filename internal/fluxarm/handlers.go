@@ -1,0 +1,305 @@
+package fluxarm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ticktock/internal/armv7m"
+)
+
+// This file models Tock's interrupt handlers and context-switch assembly
+// (paper Figure 8) by composing the contract-checked instruction models,
+// and states the cpu_state_correct postcondition the paper verifies.
+
+// SysTickISR models the system-timer top-half handler (Figure 8, left):
+//
+//	movw r0, #0
+//	msr  CONTROL, r0
+//	isb
+//	ldr  lr, =0xFFFF_FFF9
+//	bx   lr (performed by the caller via ExceptionReturn)
+//
+// Contract: entered in Handler mode; ensures CONTROL is cleared (so the
+// kernel resumes privileged on MSP) and returns EXC_RETURN Thread/MSP.
+func (a *Arm7) SysTickISR() (uint32, error) {
+	if a.M.CPU.Mode != armv7m.ModeHandler {
+		return 0, &ContractViolation{Instr: "sys_tick_isr", Clause: "mode_is_handler(old.mode)",
+			Detail: a.M.CPU.Mode.String()}
+	}
+	// Save the interrupted process's callee-saved registers first, as
+	// the surrounding assembly does.
+	a.StoreCalleeRegs()
+	a.MovwImm(armv7m.R0, 0)
+	if err := a.Msr(armv7m.SpecCONTROL, armv7m.R0); err != nil {
+		return 0, err
+	}
+	a.Isb()
+	if err := a.PseudoLdrSpecial(armv7m.ExcReturnThreadMSP); err != nil {
+		return 0, err
+	}
+	// Postcondition cpu_post_sys_tick_isr: CONTROL cleared, LR holds the
+	// kernel-return encoding.
+	if a.M.CPU.Control != 0 {
+		return 0, &ContractViolation{Instr: "sys_tick_isr", Clause: "control == 0",
+			Detail: fmt.Sprintf("control=0x%x", a.M.CPU.Control)}
+	}
+	return a.M.CPU.LR, nil
+}
+
+// SVCallISR models the svc_handler top half: it decides between "kernel
+// asked to run a process" (CONTROL set for unprivileged PSP execution,
+// return Thread/PSP) and "process made a syscall" (return to kernel).
+// Figure 8 models the kernel→process direction; the process→kernel
+// direction is identical to SysTickISR's tail.
+func (a *Arm7) SVCallISR(toProcess bool) (uint32, error) {
+	if a.M.CPU.Mode != armv7m.ModeHandler {
+		return 0, &ContractViolation{Instr: "svc_handler", Clause: "mode_is_handler(old.mode)",
+			Detail: a.M.CPU.Mode.String()}
+	}
+	if !toProcess {
+		return a.SysTickISR()
+	}
+	// Restore the process's callee-saved registers.
+	a.LoadCalleeRegs()
+	// Drop Thread mode to unprivileged before returning into process
+	// code. Omitting this is tock#4246.
+	if !a.MissedModeSwitch {
+		a.MovwImm(armv7m.R0, armv7m.ControlNPriv|armv7m.ControlSPSel)
+		if err := a.Msr(armv7m.SpecCONTROL, armv7m.R0); err != nil {
+			return 0, err
+		}
+		a.Isb()
+	}
+	if err := a.PseudoLdrSpecial(armv7m.ExcReturnThreadPSP); err != nil {
+		return 0, err
+	}
+	return a.M.CPU.LR, nil
+}
+
+// SwitchToUserPart1 models the first half of switch_to_user: in kernel
+// Thread mode on MSP, save the kernel's callee-saved registers on the
+// kernel stack and raise SVC. The hardware stacks the kernel context on
+// MSP; the SVC handler then launches the process.
+func (a *Arm7) SwitchToUserPart1() error {
+	cpu := &a.M.CPU
+	if cpu.Mode != armv7m.ModeThread || !cpu.Privileged() {
+		return &ContractViolation{Instr: "switch_to_user_part1",
+			Clause: "mode_is_thread_privileged(old.mode, old.control)",
+			Detail: fmt.Sprintf("mode=%v priv=%v", cpu.Mode, cpu.Privileged())}
+	}
+	if err := a.PushKernelRegs(); err != nil {
+		return err
+	}
+	// svc: hardware exception entry on the current (main) stack.
+	if err := a.M.TakeException(armv7m.ExcSVCall); err != nil {
+		return err
+	}
+	// Top half: launch the process.
+	if _, err := a.SVCallISR(true); err != nil {
+		return err
+	}
+	return a.ExceptionReturn()
+}
+
+// Process models an arbitrary user-process execution (Figure 8's
+// `process()`): it erases everything known about the caller-saved
+// registers and scribbles over the process's own memory. Crucially, the
+// havoc honours the hardware: an *unprivileged* process can only write
+// its own RAM, while a process left privileged (the missed-mode-switch
+// bug) can — and in this adversarial model, will — also corrupt kernel
+// memory, including the kernel stack holding the saved context.
+func (a *Arm7) Process(rng *rand.Rand) error {
+	cpu := &a.M.CPU
+	if cpu.Mode != armv7m.ModeThread {
+		return &ContractViolation{Instr: "process", Clause: "mode_is_thread", Detail: cpu.Mode.String()}
+	}
+	// Havoc every register a process may legally change.
+	for i := range cpu.R {
+		cpu.R[i] = rng.Uint32()
+	}
+	cpu.LR = rng.Uint32()
+	cpu.PSR = rng.Uint32() &^ armv7m.IPSRMask
+	// Scribble over process RAM, leaving a valid stack pointer.
+	for i := 0; i < 32; i++ {
+		span := a.ProcEnd - a.ProcStart
+		addr := a.ProcStart + rng.Uint32()%span
+		_ = a.M.Mem.StoreByte(addr, byte(rng.Uint32()))
+	}
+	cpu.PSP = a.ProcEnd - 64 - rng.Uint32()%64&^3
+
+	if cpu.Privileged() {
+		// The adversarial part: a privileged "user" process attacks
+		// the kernel stack and the MPU configuration.
+		for i := 0; i < 16; i++ {
+			addr := cpu.MSP - 64 + rng.Uint32()%128&^3
+			_ = a.M.Mem.WriteWord(addr, rng.Uint32())
+		}
+		_ = a.M.MPU.ClearRegion(int(rng.Uint32() % 8))
+	}
+	return nil
+}
+
+// Preempt models an exception firing during process execution (Figure 8's
+// `preempt`): hardware stacks the caller-saved context on the process
+// stack, enters Handler mode, dispatches the numbered ISR, and performs
+// the exception return the ISR selected.
+func (a *Arm7) Preempt(exceptionNum uint32) error {
+	if exceptionNum < armv7m.ExcSVCall {
+		return &ContractViolation{Instr: "preempt", Clause: "15 <= exception_num || svc",
+			Detail: fmt.Sprintf("exc=%d", exceptionNum)}
+	}
+	if err := a.M.TakeException(exceptionNum); err != nil {
+		return err
+	}
+	var err error
+	switch exceptionNum {
+	case armv7m.ExcSysTick:
+		_, err = a.SysTickISR()
+	case armv7m.ExcSVCall:
+		_, err = a.SVCallISR(false)
+	default:
+		_, err = a.SysTickISR() // generic_isr shares the tail
+	}
+	if err != nil {
+		return err
+	}
+	return a.ExceptionReturn()
+}
+
+// SwitchToUserPart2 models the second half of switch_to_user, executed
+// after the exception return lands back in the kernel: restore the
+// kernel's callee-saved registers from the kernel stack.
+func (a *Arm7) SwitchToUserPart2() error {
+	cpu := &a.M.CPU
+	if cpu.Mode != armv7m.ModeThread || !cpu.Privileged() {
+		return &ContractViolation{Instr: "switch_to_user_part2",
+			Clause: "mode_is_thread_privileged", Detail: fmt.Sprintf("mode=%v priv=%v", cpu.Mode, cpu.Privileged())}
+	}
+	return a.PopKernelRegs()
+}
+
+// KernelSnapshot captures the state cpu_state_correct compares.
+type KernelSnapshot struct {
+	CalleeRegs [8]uint32 // r4..r11
+	MSP        uint32
+	MPU        armv7m.Snapshot
+}
+
+// Snapshot captures the kernel-visible machine state.
+func (a *Arm7) Snapshot() KernelSnapshot {
+	var s KernelSnapshot
+	copy(s.CalleeRegs[:], a.M.CPU.R[4:12])
+	s.MSP = a.M.CPU.MSP
+	s.MPU = a.M.MPU.Snapshot()
+	return s
+}
+
+// CPUStateCorrect is the paper's cpu_state_correct(new, old)
+// postcondition: the callee-saved registers and the kernel stack pointer
+// are unchanged across the round trip, the CPU is back in privileged
+// Thread mode, and the MPU configuration the kernel set up is intact.
+func (a *Arm7) CPUStateCorrect(old KernelSnapshot) error {
+	cpu := &a.M.CPU
+	now := a.Snapshot()
+	if now.CalleeRegs != old.CalleeRegs {
+		return &ContractViolation{Instr: "cpu_state_correct", Clause: "callee-saved preserved",
+			Detail: fmt.Sprintf("r4-r11 %08x != %08x", now.CalleeRegs, old.CalleeRegs)}
+	}
+	if now.MSP != old.MSP {
+		return &ContractViolation{Instr: "cpu_state_correct", Clause: "kernel sp preserved",
+			Detail: fmt.Sprintf("msp 0x%08x != 0x%08x", now.MSP, old.MSP)}
+	}
+	if cpu.Mode != armv7m.ModeThread || !cpu.Privileged() {
+		return &ContractViolation{Instr: "cpu_state_correct", Clause: "privileged thread mode",
+			Detail: fmt.Sprintf("mode=%v priv=%v", cpu.Mode, cpu.Privileged())}
+	}
+	if now.MPU != old.MPU {
+		return &ContractViolation{Instr: "cpu_state_correct", Clause: "mpu configuration preserved",
+			Detail: "MPU registers changed across round trip"}
+	}
+	return nil
+}
+
+// ControlFlowKernelToKernel models the complete round trip of Figure 8
+// (right): context-switch to a process, run it adversarially, preempt it
+// with the given exception, and return to the kernel. It returns an error
+// if any instruction contract or the final cpu_state_correct obligation
+// fails.
+func (a *Arm7) ControlFlowKernelToKernel(exceptionNum uint32, rng *rand.Rand) error {
+	old := a.Snapshot()
+	if err := a.SwitchToUserPart1(); err != nil {
+		return err
+	}
+	if err := a.Process(rng); err != nil {
+		return err
+	}
+	if err := a.Preempt(exceptionNum); err != nil {
+		return err
+	}
+	if err := a.SwitchToUserPart2(); err != nil {
+		return err
+	}
+	return a.CPUStateCorrect(old)
+}
+
+// ControlFlowProcessSyscall models the other direction Tock's assembly
+// implements: a running process executes SVC, the kernel services the
+// call, and the process resumes. The verified property is the process's
+// own view: its callee-saved registers, stack pointer and unprivileged
+// mode are restored exactly, and the kernel's MPU configuration is
+// untouched by the excursion through handler mode.
+func (a *Arm7) ControlFlowProcessSyscall() error {
+	cpu := &a.M.CPU
+	if cpu.Mode != armv7m.ModeThread || cpu.Privileged() {
+		return &ContractViolation{Instr: "process_syscall",
+			Clause: "mode_is_thread_unprivileged",
+			Detail: fmt.Sprintf("mode=%v priv=%v", cpu.Mode, cpu.Privileged())}
+	}
+
+	var procRegs [8]uint32
+	copy(procRegs[:], cpu.R[4:12])
+	procPSP := cpu.PSP
+	mpuBefore := a.M.MPU.Snapshot()
+
+	// Hardware: SVC exception entry stacks the caller-saved frame on the
+	// process stack.
+	if err := a.M.TakeException(armv7m.ExcSVCall); err != nil {
+		return err
+	}
+	// Kernel top half: save the process's callee-saved registers, then
+	// (native kernel code runs here — it may clobber every register it
+	// likes; model that as havoc of the caller-saved set).
+	a.StoreCalleeRegs()
+	cpu.R[0], cpu.R[1], cpu.R[2], cpu.R[3], cpu.R[12] = 0xDEAD, 0xBEEF, 0xFEED, 0xFACE, 0xD00D
+
+	// Kernel bottom half: restore the process registers and return to
+	// it, dropping privileges again.
+	if _, err := a.SVCallISR(true); err != nil {
+		return err
+	}
+	if err := a.ExceptionReturn(); err != nil {
+		return err
+	}
+
+	// Postconditions: the process context is bit-identical.
+	for i := 0; i < 8; i++ {
+		if cpu.R[4+i] != procRegs[i] {
+			return &ContractViolation{Instr: "process_syscall",
+				Clause: "process callee-saved preserved",
+				Detail: fmt.Sprintf("r%d: 0x%x != 0x%x", 4+i, cpu.R[4+i], procRegs[i])}
+		}
+	}
+	if cpu.PSP != procPSP {
+		return &ContractViolation{Instr: "process_syscall", Clause: "process sp preserved",
+			Detail: fmt.Sprintf("psp 0x%x != 0x%x", cpu.PSP, procPSP)}
+	}
+	if cpu.Privileged() && !a.MissedModeSwitch {
+		return &ContractViolation{Instr: "process_syscall", Clause: "unprivileged return",
+			Detail: "process resumed privileged"}
+	}
+	if a.M.MPU.Snapshot() != mpuBefore {
+		return &ContractViolation{Instr: "process_syscall", Clause: "mpu preserved",
+			Detail: "MPU registers changed across syscall"}
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package kernel
+
+import (
+	"ticktock/internal/armv7m"
+	"ticktock/internal/core"
+	"ticktock/internal/cycles"
+	"ticktock/internal/mpu"
+)
+
+// granularMM is the TickTock memory manager: a thin adapter over the
+// verified granular allocator. There is no second copy of the layout —
+// Layout() reads straight out of AppBreaks, which the core package keeps
+// in proven correspondence with the hardware regions.
+type granularMM struct {
+	alloc *core.AppMemoryAllocator[core.CortexMRegion]
+	meter *cycles.Meter
+}
+
+// NewGranularMM builds the TickTock-flavour memory manager over the given
+// MPU hardware.
+func NewGranularMM(hw *armv7m.MPUHardware, meter *cycles.Meter, padding uint32) MemoryManager {
+	drv := core.NewCortexMMPU(hw)
+	drv.Meter = meter
+	return &granularMM{
+		alloc: core.NewAllocator[core.CortexMRegion](drv, core.Config{Meter: meter, Padding: padding}),
+		meter: meter,
+	}
+}
+
+func (g *granularMM) Allocate(unallocStart, unallocSize, minSize, appSize, kernelSize, flashStart, flashSize uint32) error {
+	return g.alloc.AllocateAppMemory(unallocStart, unallocSize, minSize, appSize, kernelSize, flashStart, flashSize)
+}
+
+func (g *granularMM) Brk(newBreak uint32) error { return g.alloc.Brk(newBreak) }
+
+func (g *granularMM) Sbrk(delta int32) (uint32, error) { return g.alloc.Sbrk(delta) }
+
+func (g *granularMM) AllocateGrant(size uint32) (uint32, error) {
+	return g.alloc.AllocateGrant(size)
+}
+
+func (g *granularMM) ConfigureMPU() error { return g.alloc.ConfigureMPU() }
+
+// AccessibleEnd equals the logical break: the two views provably agree.
+func (g *granularMM) AccessibleEnd() uint32 { return g.alloc.Breaks().AppBreak() }
+
+// ShareRegion maps the foreign span at the first IPC region slot through
+// the checked MapIPCRegion path.
+func (g *granularMM) ShareRegion(start, size uint32, writable bool) error {
+	perms := mpu.ReadOnly
+	if writable {
+		perms = mpu.ReadWriteOnly
+	}
+	return g.alloc.MapIPCRegion(core.FirstIPCRegionNumber, start, size, perms)
+}
+
+// UnshareRegion removes the IPC mapping.
+func (g *granularMM) UnshareRegion() error {
+	return g.alloc.UnmapIPCRegion(core.FirstIPCRegionNumber)
+}
+
+func (g *granularMM) DisableMPU() { g.alloc.DisableMPU() }
+
+func (g *granularMM) Layout() Layout {
+	b := g.alloc.Breaks()
+	return Layout{
+		MemoryStart: b.MemoryStart(),
+		MemorySize:  b.MemorySize(),
+		AppBreak:    b.AppBreak(),
+		KernelBreak: b.KernelBreak(),
+		FlashStart:  b.FlashStart(),
+		FlashSize:   b.FlashSize(),
+	}
+}
+
+// UserCanAccess validates against the logical layout directly: two
+// comparisons, no recomputation — the reason TickTock's buffer-build paths
+// are faster in Figure 11.
+func (g *granularMM) UserCanAccess(start, size uint32, kind mpu.AccessKind) bool {
+	g.meter.Add(4 * cycles.ALU)
+	return g.alloc.UserCanAccess(start, size, kind)
+}

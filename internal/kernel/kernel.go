@@ -1,0 +1,574 @@
+package kernel
+
+import (
+	"fmt"
+
+	"ticktock/internal/armv7m"
+	"ticktock/internal/cycles"
+	"ticktock/internal/monolithic"
+	"ticktock/internal/tbf"
+)
+
+// Flavour selects which memory-management implementation backs the kernel.
+type Flavour uint8
+
+// Kernel flavours.
+const (
+	// FlavourTickTock uses the verified granular abstraction.
+	FlavourTickTock Flavour = iota
+	// FlavourTock uses the monolithic baseline (optionally with bugs).
+	FlavourTock
+)
+
+// String implements fmt.Stringer.
+func (f Flavour) String() string {
+	if f == FlavourTock {
+		return "tock"
+	}
+	return "ticktock"
+}
+
+// FaultPolicy decides what happens to a faulting process (Tock's
+// ProcessFaultPolicy).
+type FaultPolicy uint8
+
+// Fault policies.
+const (
+	// PolicyStop terminates the faulting process (the default).
+	PolicyStop FaultPolicy = iota
+	// PolicyRestart resets the process and restarts it from its entry
+	// point, up to MaxRestarts times.
+	PolicyRestart
+)
+
+// Scheduler selects the scheduling discipline, mirroring Tock's
+// pluggable schedulers.
+type Scheduler uint8
+
+// Scheduler disciplines.
+const (
+	// SchedRoundRobin preempts on SysTick and rotates (the default).
+	SchedRoundRobin Scheduler = iota
+	// SchedCooperative never arms the timer: processes run until they
+	// yield, block or exit.
+	SchedCooperative
+	// SchedPriority always runs the lowest-ID runnable process
+	// (load order is priority order), preempting with SysTick.
+	SchedPriority
+)
+
+// String implements fmt.Stringer.
+func (s Scheduler) String() string {
+	switch s {
+	case SchedCooperative:
+		return "cooperative"
+	case SchedPriority:
+		return "priority"
+	default:
+		return "round-robin"
+	}
+}
+
+// Options configures a kernel build.
+type Options struct {
+	Flavour Flavour
+	// Scheduler selects the scheduling discipline.
+	Scheduler Scheduler
+	// FaultPolicy selects the response to process faults.
+	FaultPolicy FaultPolicy
+	// MaxRestarts bounds PolicyRestart (0 means 3, Tock's default).
+	MaxRestarts int
+	// Bugs enables the faithful bug reproductions (monolithic flavour
+	// only, except MissedModeSwitch which lives in the shared
+	// context-switch path).
+	Bugs monolithic.BugSet
+	// Timeslice is the SysTick reload per scheduling quantum.
+	Timeslice uint32
+	// Padding forwards to the granular allocator (§6.2 padded config).
+	Padding uint32
+}
+
+// DefaultTimeslice matches a 10 ms quantum at the modelled clock.
+const DefaultTimeslice = 10000
+
+// App describes an application to load: its metadata and a builder that
+// assembles the program at its final flash address.
+type App struct {
+	Name       string
+	MinRAM     uint32 // declared total RAM need
+	InitRAM    uint32 // initially-accessible RAM (stack + data + heap)
+	Stack      uint32 // portion of InitRAM that is stack
+	KernelHint uint32 // grant-region size hint
+	// Build assembles the program with its code based at codeBase.
+	Build func(codeBase uint32) *armv7m.Program
+}
+
+// Kernel is the operating system instance: board, processes, scheduler
+// state and instrumentation.
+type Kernel struct {
+	Board *Board
+	Opts  Options
+	Procs []*Process
+	Stats *Stats
+
+	// poolCursor tracks unallocated process RAM.
+	poolCursor uint32
+
+	// LEDs is the simulated LED bank state.
+	LEDs [4]bool
+
+	// Switches counts completed context switches.
+	Switches uint64
+
+	// output accumulates per-process console output.
+	output map[int][]byte
+
+	// ipcSeq orders cross-process copies for determinism.
+	ipcSeq int
+}
+
+// New boots a kernel on a fresh board.
+func New(opts Options) (*Kernel, error) {
+	b, err := NewBoard()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Timeslice == 0 {
+		opts.Timeslice = DefaultTimeslice
+	}
+	return &Kernel{
+		Board:      b,
+		Opts:       opts,
+		Stats:      NewStats(),
+		poolCursor: ProcessPoolBase,
+		output:     make(map[int][]byte),
+	}, nil
+}
+
+// Meter returns the board cycle meter.
+func (k *Kernel) Meter() *cycles.Meter { return k.Board.Meter }
+
+// instrument measures the meter delta of f under the method name.
+func (k *Kernel) instrument(method string, f func() error) error {
+	start := k.Meter().Cycles()
+	err := f()
+	k.Stats.Record(method, k.Meter().Cycles()-start)
+	return err
+}
+
+// newMM builds the flavour-appropriate memory manager.
+func (k *Kernel) newMM() MemoryManager {
+	if k.Opts.Flavour == FlavourTock {
+		return NewMonolithicMM(k.Board.Machine.MPU, k.Meter(), k.Opts.Bugs)
+	}
+	return NewGranularMM(k.Board.Machine.MPU, k.Meter(), k.Opts.Padding)
+}
+
+// LoadProcess loads an application: writes its TBF image into a flash
+// slot, registers the program, allocates and zeroes its memory block, and
+// builds the initial stack frame. This is the instrumented `create` path
+// of Figure 11.
+func (k *Kernel) LoadProcess(app App) (*Process, error) {
+	var proc *Process
+	err := k.instrument("create", func() error {
+		// Size the image: assemble once at a probe base to count
+		// instructions (branch targets are absolute, so the final
+		// program must be rebuilt at its real base).
+		probe := app.Build(0)
+		codeBytes := uint32(4 * len(probe.Instrs))
+		// One extra slot word holds the injected upcall-return stub.
+		imageSize := uint32(tbf.HeaderSize) + codeBytes + 4
+
+		slotBase, slotSize, err := k.Board.AllocFlashSlot(imageSize)
+		if err != nil {
+			return err
+		}
+		hdr := &tbf.Header{
+			TotalSize:   slotSize,
+			EntryOffset: tbf.HeaderSize,
+			MinRAMSize:  app.MinRAM,
+			InitRAMSize: app.InitRAM,
+			StackSize:   app.Stack,
+			KernelHint:  app.KernelHint,
+			Name:        app.Name,
+		}
+		raw, err := hdr.Encode()
+		if err != nil {
+			return err
+		}
+		if err := k.Board.WriteFlash(slotBase, raw); err != nil {
+			return err
+		}
+		k.Meter().Add(uint64(len(raw)) / 4 * cycles.Store)
+
+		// The loader re-parses the header from flash, as Tock does.
+		flashBytes, err := k.Board.Machine.Mem.ReadBytes(slotBase, uint32(tbf.HeaderSize))
+		if err != nil {
+			return err
+		}
+		parsed, err := tbf.Parse(flashBytes)
+		if err != nil {
+			return err
+		}
+		k.Meter().Add(uint64(tbf.HeaderSize) / 4 * cycles.Load)
+
+		codeBase := slotBase + parsed.EntryOffset
+		prog := app.Build(codeBase)
+		if err := k.Board.Machine.LoadProgram(prog); err != nil {
+			return err
+		}
+		// Inject the upcall-return stub right after the program: upcall
+		// frames point LR here so a returning callback traps back into
+		// the kernel (crt0 provides this in real Tock userland).
+		stub := &armv7m.Program{Base: prog.End(), Instrs: []armv7m.Instr{armv7m.SVC{Imm: SVCUpcallDone}}}
+		if stub.End() > slotBase+slotSize {
+			return fmt.Errorf("kernel: no room for upcall stub in %s's flash slot", app.Name)
+		}
+		if err := k.Board.Machine.LoadProgram(stub); err != nil {
+			return err
+		}
+
+		mm := k.newMM()
+		poolLeft := ProcessPoolBase + ProcessPoolSize - k.poolCursor
+		if err := mm.Allocate(k.poolCursor, poolLeft, parsed.MinRAMSize, parsed.InitRAMSize, parsed.KernelHint, slotBase, slotSize); err != nil {
+			return fmt.Errorf("kernel: loading %s: %w", app.Name, err)
+		}
+		layout := mm.Layout()
+		k.poolCursor = (layout.MemoryEnd() + 7) &^ 7
+
+		// Zero the memory the process and kernel will actually use —
+		// the accessible span and the grant region — charging the
+		// per-word store cost, the bulk of process creation time. (The
+		// gap between them is unreachable until a brk extends into it,
+		// at which point it is already zero-backed RAM.)
+		zeroed := uint32(0)
+		for _, span := range [][2]uint32{
+			{layout.MemoryStart, layout.AppBreak},
+			{layout.KernelBreak, layout.MemoryEnd()},
+		} {
+			for addr := span[0]; addr < span[1]; addr += 4 {
+				if err := k.Board.Machine.Mem.WriteWord(addr, 0); err != nil {
+					return err
+				}
+				zeroed += 4
+			}
+		}
+		k.Meter().Add(uint64(zeroed) / 4 * cycles.Store)
+
+		proc = &Process{
+			ID:           len(k.Procs),
+			Name:         parsed.Name,
+			State:        StateReady,
+			MM:           mm,
+			Entry:        codeBase,
+			AllowedRO:    make(map[uint32]Buffer),
+			AllowedRW:    make(map[uint32]Buffer),
+			Upcalls:      make(map[uint32]Upcall),
+			initialBreak: layout.AppBreak,
+			stackSize:    parsed.StackSize,
+			upcallStub:   stub.Base,
+		}
+		stackTop := layout.MemoryStart + parsed.StackSize
+		if parsed.StackSize == 0 || stackTop > layout.AppBreak {
+			stackTop = layout.AppBreak
+		}
+		if err := proc.buildInitialFrame(k.Board.Machine, stackTop); err != nil {
+			return err
+		}
+		k.Procs = append(k.Procs, proc)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return proc, nil
+}
+
+// Output returns the accumulated console output of a process.
+func (k *Kernel) Output(p *Process) string { return string(k.output[p.ID]) }
+
+// appendOutput adds console bytes for a process.
+func (k *Kernel) appendOutput(p *Process, s string) {
+	k.output[p.ID] = append(k.output[p.ID], s...)
+}
+
+// schedule returns the next runnable process round-robin, or nil.
+func (k *Kernel) schedule() *Process {
+	if len(k.Procs) == 0 {
+		return nil
+	}
+	now := k.Meter().Cycles()
+	start := int(k.Switches) % len(k.Procs)
+	if k.Opts.Scheduler == SchedPriority {
+		start = 0 // always scan from the highest-priority process
+	}
+	for i := 0; i < len(k.Procs); i++ {
+		p := k.Procs[(start+i)%len(k.Procs)]
+		if p.Runnable(now) {
+			if p.State == StateYielded {
+				p.State = StateReady
+				p.WakeAt = 0
+				// An expiring alarm with a subscription delivers its
+				// upcall before the process resumes from its yield.
+				if k.scheduleUpcall(p, DriverAlarm, uint32(now>>6), 0) {
+					if err := k.deliverUpcall(p); err != nil {
+						k.faultProcess(p, err)
+						continue
+					}
+				}
+			}
+			return p
+		}
+	}
+	return nil
+}
+
+// switchToProcess is the kernel→process half of the context switch: MPU
+// configuration (the instrumented setup_mpu), SysTick arming, register
+// restore, privilege drop and exception return. The MissedModeSwitch bug
+// omits the privilege drop, faithfully reproducing tock#4246.
+func (k *Kernel) switchToProcess(p *Process) error {
+	if err := k.instrument("setup_mpu", p.MM.ConfigureMPU); err != nil {
+		return err
+	}
+	m := k.Board.Machine
+	if k.Opts.Scheduler == SchedCooperative {
+		m.Tick.Disarm()
+	} else {
+		m.Tick.Arm(k.Opts.Timeslice)
+	}
+	copy(m.CPU.R[4:12], p.SavedRegs[:])
+	m.CPU.PSP = p.PSP
+	if k.Opts.Bugs.MissedModeSwitch {
+		// BUG (tock#4246): CONTROL.nPRIV is left clear — the process
+		// will run with privileged access rights and bypass the MPU.
+		m.CPU.Control &^= armv7m.ControlNPriv
+	} else {
+		m.CPU.Control |= armv7m.ControlNPriv
+	}
+	k.Meter().Add(cycles.MSR + cycles.Barrier + 8*cycles.Load)
+	return m.SwitchToUser()
+}
+
+// saveProcessContext is the process→kernel half: capture the callee-saved
+// registers and the process stack pointer (which now points at the
+// hardware-stacked frame), then disable the MPU for kernel execution.
+func (k *Kernel) saveProcessContext(p *Process) {
+	m := k.Board.Machine
+	copy(p.SavedRegs[:], m.CPU.R[4:12])
+	p.PSP = m.CPU.PSP
+	m.Tick.Disarm()
+	p.MM.DisableMPU()
+	k.Meter().Add(8 * cycles.Store)
+}
+
+// RunOnce schedules and runs a single process quantum, handling whatever
+// stopped it. It reports whether any process ran.
+func (k *Kernel) RunOnce() (bool, error) {
+	p := k.schedule()
+	if p == nil {
+		// If everyone is sleeping on an alarm, advance time to the
+		// earliest wake.
+		var earliest uint64
+		for _, q := range k.Procs {
+			if q.State == StateYielded && q.WakeAt != 0 && (earliest == 0 || q.WakeAt < earliest) {
+				earliest = q.WakeAt
+			}
+		}
+		if earliest == 0 {
+			return false, nil
+		}
+		now := k.Meter().Cycles()
+		if earliest > now {
+			k.Meter().Add(earliest - now) // the WFI idle loop burning cycles
+		}
+		return true, nil
+	}
+
+	if err := k.switchToProcess(p); err != nil {
+		return false, fmt.Errorf("kernel: switching to %s: %w", p.Name, err)
+	}
+	stop, err := k.Board.Machine.Run(0)
+	if err != nil {
+		return false, fmt.Errorf("kernel: running %s: %w", p.Name, err)
+	}
+	k.Switches++
+
+	switch stop.Reason {
+	case armv7m.StopPreempted:
+		k.saveProcessContext(p)
+	case armv7m.StopSyscall:
+		k.saveProcessContext(p)
+		if err := k.handleSyscall(p, stop.SVCNum); err != nil {
+			return false, err
+		}
+	case armv7m.StopFault:
+		k.saveProcessContext(p)
+		k.faultProcess(p, stop.Fault)
+	case armv7m.StopIdle:
+		// WFI outside an exception: treat as a clean exit; there is no
+		// stacked frame to resume from.
+		k.Board.Machine.Tick.Disarm()
+		p.MM.DisableMPU()
+		p.State = StateExited
+	default:
+		return false, fmt.Errorf("kernel: unexpected stop %v", stop.Reason)
+	}
+	return true, nil
+}
+
+// Run drives the scheduler until every process is dead or maxQuanta
+// quanta have elapsed. It returns the number of quanta used.
+func (k *Kernel) Run(maxQuanta int) (int, error) {
+	for q := 0; q < maxQuanta; q++ {
+		alive := false
+		for _, p := range k.Procs {
+			if p.Alive() {
+				alive = true
+				break
+			}
+		}
+		if !alive {
+			return q, nil
+		}
+		ran, err := k.RunOnce()
+		if err != nil {
+			return q, err
+		}
+		if !ran {
+			return q, nil
+		}
+	}
+	return maxQuanta, nil
+}
+
+// faultProcess implements the kernel's fault policy: print a Tock-style
+// fault report (including the memory layout, which §6.1's Stack Growth
+// test deliberately diffs, and the latched MMFAR), then either terminate
+// or restart the process per the configured policy.
+func (k *Kernel) faultProcess(p *Process, cause error) {
+	p.State = StateFaulted
+	p.FaultReason = fmt.Sprint(cause)
+	k.appendOutput(p, fmt.Sprintf("panic: process %s faulted: %v\n", p.Name, cause))
+	if f := k.Board.Machine.Fault; f.Valid {
+		k.appendOutput(p, fmt.Sprintf("mmfar: 0x%08x daccviol=%v iaccviol=%v\n", f.MMFAR, f.DACCVIOL, f.IACCVIOL))
+		k.Board.Machine.Fault = armv7m.FaultStatus{}
+	}
+	k.appendOutput(p, fmt.Sprintf("layout: %s\n", p.MM.Layout()))
+
+	if k.Opts.FaultPolicy == PolicyRestart {
+		maxR := k.Opts.MaxRestarts
+		if maxR == 0 {
+			maxR = 3
+		}
+		if p.Restarts < maxR {
+			if err := k.restartProcess(p); err != nil {
+				k.appendOutput(p, fmt.Sprintf("restart failed: %v\n", err))
+				return
+			}
+			p.Restarts++
+			k.appendOutput(p, fmt.Sprintf("restarting %s (attempt %d/%d)\n", p.Name, p.Restarts, maxR))
+		}
+	}
+}
+
+// restartProcess resets a faulted process for another run: zero its
+// accessible RAM, reset the break to the initial value, drop its shared
+// buffers and pending wakes, and rebuild the initial stack frame.
+// Grant allocations persist, as they hold kernel state that outlives the
+// process instance.
+func (k *Kernel) restartProcess(p *Process) error {
+	layout := p.MM.Layout()
+	if p.initialBreak != 0 && p.initialBreak != layout.AppBreak {
+		if err := p.MM.Brk(p.initialBreak); err != nil {
+			return err
+		}
+		layout = p.MM.Layout()
+	}
+	for addr := layout.MemoryStart; addr < layout.AppBreak; addr += 4 {
+		if err := k.Board.Machine.Mem.WriteWord(addr, 0); err != nil {
+			return err
+		}
+	}
+	clear(p.AllowedRO)
+	clear(p.AllowedRW)
+	clear(p.Upcalls)
+	p.pendingUpcalls = nil
+	p.inUpcall = false
+	p.WakeAt = 0
+	stackTop := layout.MemoryStart + p.stackSize
+	if p.stackSize == 0 || stackTop > layout.AppBreak {
+		stackTop = layout.AppBreak
+	}
+	if err := p.buildInitialFrame(k.Board.Machine, stackTop); err != nil {
+		return err
+	}
+	p.State = StateReady
+	p.FaultReason = ""
+	return nil
+}
+
+// EnterGrant gives the caller scoped access to a grant allocation's bytes,
+// the way Tock capsules enter() a grant: the span is validated to lie
+// wholly inside the process's kernel-owned grant region, the closure runs
+// over a copy, and mutations are written back. The process itself can
+// never reach this memory (the MPU denies it), so no tearing with user
+// code is possible.
+func (k *Kernel) EnterGrant(p *Process, addr, size uint32, f func(b []byte) error) error {
+	layout := p.MM.Layout()
+	end := uint64(addr) + uint64(size)
+	if addr < layout.KernelBreak || end > uint64(layout.MemoryEnd()) {
+		return fmt.Errorf("kernel: grant span [0x%x,+0x%x) outside grant region [0x%x,0x%x)",
+			addr, size, layout.KernelBreak, layout.MemoryEnd())
+	}
+	b, err := k.Board.Machine.Mem.ReadBytes(addr, size)
+	if err != nil {
+		return err
+	}
+	if err := f(b); err != nil {
+		return err
+	}
+	return k.Board.Machine.Mem.WriteBytes(addr, b)
+}
+
+// ProcessInfo is a read-only summary row for process introspection
+// (Tock's process console "list" command).
+type ProcessInfo struct {
+	ID       int
+	Name     string
+	State    State
+	Restarts int
+	Grants   int
+	Layout   Layout
+}
+
+// ProcessTable returns a snapshot of every loaded process.
+func (k *Kernel) ProcessTable() []ProcessInfo {
+	out := make([]ProcessInfo, 0, len(k.Procs))
+	for _, p := range k.Procs {
+		out = append(out, ProcessInfo{
+			ID:       p.ID,
+			Name:     p.Name,
+			State:    p.State,
+			Restarts: p.Restarts,
+			Grants:   len(p.Grants),
+			Layout:   p.MM.Layout(),
+		})
+	}
+	return out
+}
+
+// ScheduleUpcallForBench schedules and immediately delivers an alarm
+// upcall; exported for the benchmark harness.
+func (k *Kernel) ScheduleUpcallForBench(p *Process) bool {
+	if !k.scheduleUpcall(p, DriverAlarm, 0, 0) {
+		return false
+	}
+	return k.deliverUpcall(p) == nil
+}
+
+// IPCCopyForBench runs the kernel-mediated IPC copy; exported for the
+// benchmark harness.
+func (k *Kernel) IPCCopyForBench(p *Process, target uint32) uint32 {
+	return k.ipcCmd(p, 0, target)
+}

@@ -1,0 +1,530 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"ticktock/internal/armv7m"
+	"ticktock/internal/monolithic"
+)
+
+// emitSyscall4 emits a 4-argument syscall: regs r0..r3 then SVC.
+func emitSyscall4(a *armv7m.Assembler, svc uint8, r0, r1, r2, r3 uint32) {
+	a.Emit(armv7m.MovImm{Rd: armv7m.R0, Imm: r0}).
+		Emit(armv7m.MovImm{Rd: armv7m.R1, Imm: r1}).
+		Emit(armv7m.MovImm{Rd: armv7m.R2, Imm: r2}).
+		Emit(armv7m.MovImm{Rd: armv7m.R3, Imm: r3}).
+		Emit(armv7m.SVC{Imm: svc})
+}
+
+// emitPuts emits console putchar syscalls for each byte of s.
+func emitPuts(a *armv7m.Assembler, s string) {
+	for _, ch := range s {
+		emitSyscall4(a, SVCCommand, DriverConsole, 0, uint32(ch), 0)
+	}
+}
+
+// emitExit emits the exit syscall with the given code.
+func emitExit(a *armv7m.Assembler, code uint32) {
+	a.Emit(armv7m.MovImm{Rd: armv7m.R0, Imm: code}).Emit(armv7m.SVC{Imm: SVCExit})
+}
+
+// helloApp prints a string and exits.
+func helloApp(name, msg string) App {
+	return App{
+		Name: name, MinRAM: 6144, InitRAM: 2048, Stack: 1024, KernelHint: 512,
+		Build: func(base uint32) *armv7m.Program {
+			a := armv7m.NewAssembler(base)
+			emitPuts(a, msg)
+			emitExit(a, 0)
+			return a.MustAssemble()
+		},
+	}
+}
+
+// evilApp tries to write a kernel-owned RAM address, then (if still alive)
+// prints a marker and exits.
+func evilApp() App {
+	return App{
+		Name: "evil", MinRAM: 6144, InitRAM: 2048, Stack: 1024, KernelHint: 512,
+		Build: func(base uint32) *armv7m.Program {
+			a := armv7m.NewAssembler(base)
+			a.Emit(armv7m.MovImm{Rd: armv7m.R6, Imm: KernelDataBase}).
+				Emit(armv7m.MovImm{Rd: armv7m.R7, Imm: 0x42}).
+				Emit(armv7m.Str{Rt: armv7m.R7, Rn: armv7m.R6})
+			emitPuts(a, "ESCAPED")
+			emitExit(a, 0)
+			return a.MustAssemble()
+		},
+	}
+}
+
+func newTestKernel(t *testing.T, opts Options) *Kernel {
+	t.Helper()
+	k, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func load(t *testing.T, k *Kernel, app App) *Process {
+	t.Helper()
+	p, err := k.LoadProcess(app)
+	if err != nil {
+		t.Fatalf("LoadProcess(%s): %v", app.Name, err)
+	}
+	return p
+}
+
+func run(t *testing.T, k *Kernel) {
+	t.Helper()
+	if _, err := k.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHelloWorldBothFlavours(t *testing.T) {
+	for _, fl := range []Flavour{FlavourTickTock, FlavourTock} {
+		t.Run(fl.String(), func(t *testing.T) {
+			k := newTestKernel(t, Options{Flavour: fl})
+			p := load(t, k, helloApp("hello", "Hello, World!\n"))
+			run(t, k)
+			if p.State != StateExited {
+				t.Fatalf("state=%v reason=%q", p.State, p.FaultReason)
+			}
+			if got := k.Output(p); got != "Hello, World!\n" {
+				t.Fatalf("output=%q", got)
+			}
+		})
+	}
+}
+
+func TestMultipleProcessesInterleave(t *testing.T) {
+	k := newTestKernel(t, Options{Flavour: FlavourTickTock})
+	p1 := load(t, k, helloApp("a", "AAAA"))
+	p2 := load(t, k, helloApp("b", "BBBB"))
+	p3 := load(t, k, helloApp("c", "CCCC"))
+	run(t, k)
+	for _, p := range []*Process{p1, p2, p3} {
+		if p.State != StateExited {
+			t.Fatalf("%s state=%v", p.Name, p.State)
+		}
+	}
+	if k.Output(p1) != "AAAA" || k.Output(p2) != "BBBB" || k.Output(p3) != "CCCC" {
+		t.Fatal("outputs corrupted by interleaving")
+	}
+}
+
+func TestEvilProcessIsIsolated(t *testing.T) {
+	for _, fl := range []Flavour{FlavourTickTock, FlavourTock} {
+		t.Run(fl.String(), func(t *testing.T) {
+			k := newTestKernel(t, Options{Flavour: fl})
+			victim := load(t, k, helloApp("victim", "ok"))
+			evil := load(t, k, evilApp())
+			run(t, k)
+			if evil.State != StateFaulted {
+				t.Fatalf("evil state=%v output=%q", evil.State, k.Output(evil))
+			}
+			if strings.Contains(k.Output(evil), "ESCAPED") {
+				t.Fatal("evil process ran past the kernel write")
+			}
+			// Kernel memory untouched.
+			v, err := k.Board.Machine.Mem.ReadWord(KernelDataBase)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != 0 {
+				t.Fatal("kernel memory was written by user process")
+			}
+			// The fault report includes the layout.
+			if !strings.Contains(k.Output(evil), "layout:") {
+				t.Fatalf("fault report missing layout: %q", k.Output(evil))
+			}
+			// Other processes unaffected.
+			if victim.State != StateExited || k.Output(victim) != "ok" {
+				t.Fatal("victim process disturbed")
+			}
+		})
+	}
+}
+
+func TestMissedModeSwitchBugBreaksIsolation(t *testing.T) {
+	// tock#4246 end-to-end: with the context-switch bug, the same evil
+	// process runs privileged, bypasses the MPU, and corrupts kernel
+	// memory.
+	k := newTestKernel(t, Options{
+		Flavour: FlavourTock,
+		Bugs:    monolithic.BugSet{MissedModeSwitch: true},
+	})
+	evil := load(t, k, evilApp())
+	run(t, k)
+	if evil.State != StateExited {
+		t.Fatalf("evil state=%v (expected to escape under the bug)", evil.State)
+	}
+	if !strings.Contains(k.Output(evil), "ESCAPED") {
+		t.Fatal("evil did not reach its marker")
+	}
+	v, _ := k.Board.Machine.Mem.ReadWord(KernelDataBase)
+	if v != 0x42 {
+		t.Fatal("kernel memory not corrupted — bug reproduction broken")
+	}
+}
+
+func TestPreemptionSharesCPU(t *testing.T) {
+	// An infinite-loop process must not starve the second process.
+	spinner := App{
+		Name: "spin", MinRAM: 6144, InitRAM: 2048, Stack: 1024, KernelHint: 512,
+		Build: func(base uint32) *armv7m.Program {
+			a := armv7m.NewAssembler(base)
+			a.Label("loop")
+			a.Emit(armv7m.AddImm{Rd: armv7m.R4, Rn: armv7m.R4, Imm: 1})
+			a.BTo(armv7m.AL, "loop")
+			return a.MustAssemble()
+		},
+	}
+	k := newTestKernel(t, Options{Flavour: FlavourTickTock, Timeslice: 500})
+	load(t, k, spinner)
+	p2 := load(t, k, helloApp("polite", "done"))
+	if _, err := k.Run(50); err != nil {
+		t.Fatal(err)
+	}
+	if p2.State != StateExited || k.Output(p2) != "done" {
+		t.Fatalf("polite process starved: state=%v out=%q", p2.State, k.Output(p2))
+	}
+	if k.Board.Machine.Tick.Fired == 0 {
+		t.Fatal("SysTick never fired")
+	}
+}
+
+func TestBrkSyscallGrowsUsableMemory(t *testing.T) {
+	// App: query break, sbrk +256, store to the new memory, read back,
+	// print result.
+	app := App{
+		Name: "brk", MinRAM: 10240, InitRAM: 2048, Stack: 1024, KernelHint: 512,
+		Build: func(base uint32) *armv7m.Program {
+			a := armv7m.NewAssembler(base)
+			// r4 = old break (memop 3).
+			emitSyscall4(a, SVCMemop, MemopAppBreak, 0, 0, 0)
+			a.Emit(armv7m.MovReg{Rd: armv7m.R4, Rm: armv7m.R0})
+			// sbrk(+512) -> r0 = new break.
+			emitSyscall4(a, SVCMemop, MemopSbrk, 512, 0, 0)
+			// Store/load at old break (now accessible).
+			a.Emit(armv7m.MovImm{Rd: armv7m.R5, Imm: 0x5A}).
+				Emit(armv7m.Str{Rt: armv7m.R5, Rn: armv7m.R4}).
+				Emit(armv7m.Ldr{Rt: armv7m.R6, Rn: armv7m.R4}).
+				Emit(armv7m.CmpImm{Rn: armv7m.R6, Imm: 0x5A})
+			a.BTo(armv7m.NE, "fail")
+			emitPuts(a, "grown")
+			emitExit(a, 0)
+			a.Label("fail")
+			emitPuts(a, "FAIL")
+			emitExit(a, 1)
+			return a.MustAssemble()
+		},
+	}
+	for _, fl := range []Flavour{FlavourTickTock, FlavourTock} {
+		t.Run(fl.String(), func(t *testing.T) {
+			k := newTestKernel(t, Options{Flavour: fl})
+			p := load(t, k, app)
+			run(t, k)
+			if p.State != StateExited || k.Output(p) != "grown" {
+				t.Fatalf("state=%v out=%q reason=%q", p.State, k.Output(p), p.FaultReason)
+			}
+		})
+	}
+}
+
+func TestBrkCannotReachGrantRegion(t *testing.T) {
+	// App: try to brk past the kernel break; must get EINVAL and stay
+	// isolated. Then probing beyond the break faults.
+	app := App{
+		Name: "brkevil", MinRAM: 8192, InitRAM: 2048, Stack: 1024, KernelHint: 1024,
+		Build: func(base uint32) *armv7m.Program {
+			a := armv7m.NewAssembler(base)
+			// brk(memory_start + huge) -> expect RetInvalid.
+			emitSyscall4(a, SVCMemop, MemopMemoryStart, 0, 0, 0)
+			a.Emit(armv7m.MovReg{Rd: armv7m.R4, Rm: armv7m.R0}).
+				Emit(armv7m.MovImm{Rd: armv7m.R5, Imm: 1 << 20}).
+				Emit(armv7m.Add{Rd: armv7m.R1, Rn: armv7m.R4, Rm: armv7m.R5}).
+				Emit(armv7m.MovImm{Rd: armv7m.R0, Imm: MemopBrk}).
+				Emit(armv7m.SVC{Imm: SVCMemop}).
+				Emit(armv7m.CmpImm{Rn: armv7m.R0, Imm: RetInvalid})
+			a.BTo(armv7m.NE, "fail")
+			emitPuts(a, "denied")
+			emitExit(a, 0)
+			a.Label("fail")
+			emitPuts(a, "FAIL")
+			emitExit(a, 1)
+			return a.MustAssemble()
+		},
+	}
+	for _, fl := range []Flavour{FlavourTickTock, FlavourTock} {
+		t.Run(fl.String(), func(t *testing.T) {
+			k := newTestKernel(t, Options{Flavour: fl})
+			p := load(t, k, app)
+			run(t, k)
+			if p.State != StateExited || k.Output(p) != "denied" {
+				t.Fatalf("state=%v out=%q", p.State, k.Output(p))
+			}
+		})
+	}
+}
+
+func TestAlarmAndYield(t *testing.T) {
+	app := App{
+		Name: "timer", MinRAM: 6144, InitRAM: 2048, Stack: 1024, KernelHint: 512,
+		Build: func(base uint32) *armv7m.Program {
+			a := armv7m.NewAssembler(base)
+			emitSyscall4(a, SVCCommand, DriverAlarm, 1, 5000, 0) // alarm in 5000 cycles
+			a.Emit(armv7m.SVC{Imm: SVCYield})
+			emitPuts(a, "tick")
+			emitExit(a, 0)
+			return a.MustAssemble()
+		},
+	}
+	k := newTestKernel(t, Options{Flavour: FlavourTickTock})
+	p := load(t, k, app)
+	run(t, k)
+	if p.State != StateExited || k.Output(p) != "tick" {
+		t.Fatalf("state=%v out=%q", p.State, k.Output(p))
+	}
+}
+
+func TestAllowAndConsoleBufferPrint(t *testing.T) {
+	// App writes "hi!" into its RAM, allows it read-only to the console
+	// driver, and asks the kernel to print it.
+	app := App{
+		Name: "allow", MinRAM: 6144, InitRAM: 2048, Stack: 1024, KernelHint: 512,
+		Build: func(base uint32) *armv7m.Program {
+			a := armv7m.NewAssembler(base)
+			// Initial frame r0 = memoryStart; buffer at memoryStart+1536.
+			a.Emit(armv7m.MovReg{Rd: armv7m.R4, Rm: armv7m.R0}).
+				Emit(armv7m.AddImm{Rd: armv7m.R4, Rn: armv7m.R4, Imm: 1536}).
+				Emit(armv7m.MovImm{Rd: armv7m.R5, Imm: 'h'}).
+				Emit(armv7m.Strb{Rt: armv7m.R5, Rn: armv7m.R4, Imm: 0}).
+				Emit(armv7m.MovImm{Rd: armv7m.R5, Imm: 'i'}).
+				Emit(armv7m.Strb{Rt: armv7m.R5, Rn: armv7m.R4, Imm: 1}).
+				Emit(armv7m.MovImm{Rd: armv7m.R5, Imm: '!'}).
+				Emit(armv7m.Strb{Rt: armv7m.R5, Rn: armv7m.R4, Imm: 2})
+			// allow_ro(console, buf, 3)
+			a.Emit(armv7m.MovImm{Rd: armv7m.R0, Imm: DriverConsole}).
+				Emit(armv7m.MovReg{Rd: armv7m.R1, Rm: armv7m.R4}).
+				Emit(armv7m.MovImm{Rd: armv7m.R2, Imm: 3}).
+				Emit(armv7m.SVC{Imm: SVCAllowRO})
+			// command(console, 1, 3) -> print buffer
+			emitSyscall4(a, SVCCommand, DriverConsole, 1, 3, 0)
+			emitExit(a, 0)
+			return a.MustAssemble()
+		},
+	}
+	for _, fl := range []Flavour{FlavourTickTock, FlavourTock} {
+		t.Run(fl.String(), func(t *testing.T) {
+			k := newTestKernel(t, Options{Flavour: fl})
+			p := load(t, k, app)
+			run(t, k)
+			if k.Output(p) != "hi!" {
+				t.Fatalf("out=%q state=%v reason=%q", k.Output(p), p.State, p.FaultReason)
+			}
+		})
+	}
+}
+
+func TestAllowRejectsForeignMemory(t *testing.T) {
+	// Allowing a kernel address must fail with EINVAL on both flavours.
+	app := App{
+		Name: "badallow", MinRAM: 6144, InitRAM: 2048, Stack: 1024, KernelHint: 512,
+		Build: func(base uint32) *armv7m.Program {
+			a := armv7m.NewAssembler(base)
+			a.Emit(armv7m.MovImm{Rd: armv7m.R0, Imm: DriverConsole}).
+				Emit(armv7m.MovImm{Rd: armv7m.R1, Imm: KernelDataBase}).
+				Emit(armv7m.MovImm{Rd: armv7m.R2, Imm: 64}).
+				Emit(armv7m.SVC{Imm: SVCAllowRO}).
+				Emit(armv7m.CmpImm{Rn: armv7m.R0, Imm: RetInvalid})
+			a.BTo(armv7m.NE, "fail")
+			emitPuts(a, "denied")
+			emitExit(a, 0)
+			a.Label("fail")
+			emitPuts(a, "FAIL")
+			emitExit(a, 1)
+			return a.MustAssemble()
+		},
+	}
+	for _, fl := range []Flavour{FlavourTickTock, FlavourTock} {
+		t.Run(fl.String(), func(t *testing.T) {
+			k := newTestKernel(t, Options{Flavour: fl})
+			p := load(t, k, app)
+			run(t, k)
+			if k.Output(p) != "denied" {
+				t.Fatalf("out=%q", k.Output(p))
+			}
+		})
+	}
+}
+
+func TestGrantAllocationViaDriver(t *testing.T) {
+	app := App{
+		Name: "grant", MinRAM: 10240, InitRAM: 2048, Stack: 1024, KernelHint: 1024,
+		Build: func(base uint32) *armv7m.Program {
+			a := armv7m.NewAssembler(base)
+			emitSyscall4(a, SVCCommand, DriverGrant, 0, 128, 0)
+			a.Emit(armv7m.CmpImm{Rn: armv7m.R0, Imm: RetSuccess})
+			a.BTo(armv7m.NE, "fail")
+			emitPuts(a, "granted")
+			emitExit(a, 0)
+			a.Label("fail")
+			emitPuts(a, "FAIL")
+			emitExit(a, 1)
+			return a.MustAssemble()
+		},
+	}
+	for _, fl := range []Flavour{FlavourTickTock, FlavourTock} {
+		t.Run(fl.String(), func(t *testing.T) {
+			k := newTestKernel(t, Options{Flavour: fl})
+			p := load(t, k, app)
+			run(t, k)
+			if k.Output(p) != "granted" {
+				t.Fatalf("out=%q reason=%q", k.Output(p), p.FaultReason)
+			}
+			if len(p.Grants) != 1 {
+				t.Fatalf("grants=%v", p.Grants)
+			}
+			// The grant lives in the kernel-owned region and is not
+			// user accessible.
+			layout := p.MM.Layout()
+			if p.Grants[0] < layout.AppBreak || p.Grants[0] >= layout.MemoryEnd() {
+				t.Fatalf("grant at 0x%x outside kernel region", p.Grants[0])
+			}
+		})
+	}
+}
+
+func TestStackGrowthFaults(t *testing.T) {
+	// The §6.1 Stack Growth release test: push until the stack overruns
+	// its region; the process must fault (not corrupt anything), and the
+	// fault report prints the (flavour-specific) layout.
+	app := App{
+		Name: "stackgrow", MinRAM: 6144, InitRAM: 2048, Stack: 512, KernelHint: 512,
+		Build: func(base uint32) *armv7m.Program {
+			a := armv7m.NewAssembler(base)
+			a.Label("loop")
+			a.Emit(armv7m.Push{Regs: []armv7m.GPR{armv7m.R0, armv7m.R1, armv7m.R2, armv7m.R3}})
+			a.BTo(armv7m.AL, "loop")
+			return a.MustAssemble()
+		},
+	}
+	k := newTestKernel(t, Options{Flavour: FlavourTickTock})
+	p := load(t, k, app)
+	run(t, k)
+	if p.State != StateFaulted {
+		t.Fatalf("state=%v", p.State)
+	}
+	if !strings.Contains(k.Output(p), "layout:") {
+		t.Fatal("fault report missing layout")
+	}
+}
+
+func TestIPCCopy(t *testing.T) {
+	// Receiver allows an RW buffer then sleeps; sender allows an RO
+	// buffer with a payload and asks the kernel to copy it over.
+	receiver := App{
+		Name: "rx", MinRAM: 6144, InitRAM: 2048, Stack: 1024, KernelHint: 512,
+		Build: func(base uint32) *armv7m.Program {
+			a := armv7m.NewAssembler(base)
+			a.Emit(armv7m.MovReg{Rd: armv7m.R4, Rm: armv7m.R0}).
+				Emit(armv7m.AddImm{Rd: armv7m.R4, Rn: armv7m.R4, Imm: 1536})
+			// allow_rw(ipc, buf, 4)
+			a.Emit(armv7m.MovImm{Rd: armv7m.R0, Imm: DriverIPC}).
+				Emit(armv7m.MovReg{Rd: armv7m.R1, Rm: armv7m.R4}).
+				Emit(armv7m.MovImm{Rd: armv7m.R2, Imm: 4}).
+				Emit(armv7m.SVC{Imm: SVCAllowRW})
+			// Sleep long enough for the sender to run.
+			emitSyscall4(a, SVCCommand, DriverAlarm, 1, 60000, 0)
+			a.Emit(armv7m.SVC{Imm: SVCYield})
+			// Print the received word as chars.
+			a.Emit(armv7m.Ldrb{Rt: armv7m.R5, Rn: armv7m.R4, Imm: 0}).
+				Emit(armv7m.MovImm{Rd: armv7m.R0, Imm: DriverConsole}).
+				Emit(armv7m.MovImm{Rd: armv7m.R1, Imm: 0}).
+				Emit(armv7m.MovReg{Rd: armv7m.R2, Rm: armv7m.R5}).
+				Emit(armv7m.SVC{Imm: SVCCommand})
+			emitExit(a, 0)
+			return a.MustAssemble()
+		},
+	}
+	sender := App{
+		Name: "tx", MinRAM: 6144, InitRAM: 2048, Stack: 1024, KernelHint: 512,
+		Build: func(base uint32) *armv7m.Program {
+			a := armv7m.NewAssembler(base)
+			a.Emit(armv7m.MovReg{Rd: armv7m.R4, Rm: armv7m.R0}).
+				Emit(armv7m.AddImm{Rd: armv7m.R4, Rn: armv7m.R4, Imm: 1536}).
+				Emit(armv7m.MovImm{Rd: armv7m.R5, Imm: 'Q'}).
+				Emit(armv7m.Strb{Rt: armv7m.R5, Rn: armv7m.R4, Imm: 0})
+			// allow_ro(ipc, buf, 4)
+			a.Emit(armv7m.MovImm{Rd: armv7m.R0, Imm: DriverIPC}).
+				Emit(armv7m.MovReg{Rd: armv7m.R1, Rm: armv7m.R4}).
+				Emit(armv7m.MovImm{Rd: armv7m.R2, Imm: 4}).
+				Emit(armv7m.SVC{Imm: SVCAllowRO})
+			// command(ipc, 0, target=0)
+			emitSyscall4(a, SVCCommand, DriverIPC, 0, 0, 0)
+			emitExit(a, 0)
+			return a.MustAssemble()
+		},
+	}
+	k := newTestKernel(t, Options{Flavour: FlavourTickTock})
+	rx := load(t, k, receiver)
+	load(t, k, sender)
+	run(t, k)
+	if k.Output(rx) != "Q" {
+		t.Fatalf("rx out=%q state=%v", k.Output(rx), rx.State)
+	}
+}
+
+func TestStatsRecorded(t *testing.T) {
+	k := newTestKernel(t, Options{Flavour: FlavourTickTock})
+	p := load(t, k, helloApp("hello", "x"))
+	run(t, k)
+	if p.State != StateExited {
+		t.Fatalf("state=%v", p.State)
+	}
+	if k.Stats.Get("create").Count != 1 {
+		t.Fatal("create not instrumented")
+	}
+	if k.Stats.Get("setup_mpu").Count == 0 {
+		t.Fatal("setup_mpu not instrumented")
+	}
+	if !strings.Contains(k.Stats.String(), "setup_mpu") {
+		t.Fatal("stats table missing setup_mpu")
+	}
+}
+
+func TestLEDDriver(t *testing.T) {
+	app := App{
+		Name: "blink", MinRAM: 6144, InitRAM: 2048, Stack: 1024, KernelHint: 512,
+		Build: func(base uint32) *armv7m.Program {
+			a := armv7m.NewAssembler(base)
+			emitSyscall4(a, SVCCommand, DriverLED, 1, 0, 0) // on(0)
+			emitSyscall4(a, SVCCommand, DriverLED, 0, 1, 0) // toggle(1)
+			emitSyscall4(a, SVCCommand, DriverLED, 2, 0, 0) // off(0)
+			emitExit(a, 0)
+			return a.MustAssemble()
+		},
+	}
+	k := newTestKernel(t, Options{Flavour: FlavourTickTock})
+	load(t, k, app)
+	run(t, k)
+	if k.LEDs[0] || !k.LEDs[1] {
+		t.Fatalf("LEDs=%v", k.LEDs)
+	}
+}
+
+func TestKernelRunStopsWhenAllDead(t *testing.T) {
+	k := newTestKernel(t, Options{Flavour: FlavourTickTock})
+	load(t, k, helloApp("a", "x"))
+	quanta, err := k.Run(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quanta >= 10000 {
+		t.Fatal("Run did not terminate early")
+	}
+}

@@ -1,0 +1,182 @@
+package kernel
+
+import (
+	"fmt"
+
+	"ticktock/internal/armv7m"
+	"ticktock/internal/cycles"
+	"ticktock/internal/monolithic"
+	"ticktock/internal/mpu"
+	"ticktock/internal/verify"
+)
+
+// monolithicMM is the Tock-baseline memory manager. It faithfully
+// reproduces the structure the paper criticizes:
+//
+//   - Disagreement: AllocateAppMemRegion discards the computed breaks, so
+//     the loader re-derives app_break and kernel_break itself; the kernel's
+//     belief can diverge from the subregions actually enabled in hardware.
+//   - Redundant work: brk calls setup_mpu even though the regions are
+//     reconfigured at the next context switch anyway, and grant allocation
+//     re-runs the whole region update; both cost the extra cycles that
+//     Figure 11 measures.
+//   - Recomputation: buffer validation decodes the accessible span from
+//     the raw register values on every call.
+type monolithicMM struct {
+	drv   *monolithic.MPU
+	cfg   monolithic.MpuConfig
+	meter *cycles.Meter
+
+	// The kernel's recomputed beliefs about the layout.
+	memStart, memSize     uint32
+	appBreak, kernelBreak uint32
+	flashStart, flashSize uint32
+}
+
+// NewMonolithicMM builds the Tock-flavour memory manager.
+func NewMonolithicMM(hw *armv7m.MPUHardware, meter *cycles.Meter, bugs monolithic.BugSet) MemoryManager {
+	drv := monolithic.New(hw)
+	drv.Meter = meter
+	drv.Bugs = bugs
+	return &monolithicMM{drv: drv, meter: meter}
+}
+
+func (m *monolithicMM) Allocate(unallocStart, unallocSize, minSize, appSize, kernelSize, flashStart, flashSize uint32) error {
+	start, size, ok := m.drv.AllocateAppMemRegion(unallocStart, unallocSize, minSize, appSize, kernelSize, &m.cfg)
+	if !ok {
+		return mpu.ErrHeap("monolithic allocation failed")
+	}
+	if !m.drv.AllocateFlashRegion(flashStart, flashSize, &m.cfg) {
+		return mpu.ErrFlash("monolithic flash region failed")
+	}
+	// The process loader must now redo the carving the driver already
+	// did internally (the disagreement problem, §3.2): it only has
+	// (start, size), so it recomputes the breaks from scratch.
+	m.meter.Add(8 * cycles.ALU)
+	m.memStart = start
+	m.memSize = size
+	m.appBreak = start + appSize // kernel belief; hardware may enable more
+	m.kernelBreak = start + size - kernelSize
+	m.flashStart = flashStart
+	m.flashSize = flashSize
+	return nil
+}
+
+func (m *monolithicMM) Brk(newBreak uint32) error {
+	if err := m.drv.UpdateAppMemRegion(newBreak, m.kernelBreak, &m.cfg); err != nil {
+		return err
+	}
+	m.appBreak = newBreak
+	// Tock's brk path includes an unnecessary setup_mpu call (§6.2):
+	// the MPU is reprogrammed here even though the next context switch
+	// does it again.
+	return m.drv.ConfigureMPU(&m.cfg)
+}
+
+func (m *monolithicMM) Sbrk(delta int32) (uint32, error) {
+	nb := int64(m.appBreak) + int64(delta)
+	if nb < 0 || nb > 1<<32-1 {
+		return 0, verify.Require(false, "sbrk", "break in address space", "delta=%d", delta)
+	}
+	if err := m.Brk(uint32(nb)); err != nil {
+		return 0, err
+	}
+	return m.appBreak, nil
+}
+
+func (m *monolithicMM) AllocateGrant(size uint32) (uint32, error) {
+	m.meter.Add(cycles.Call + 3*cycles.ALU)
+	aligned := verify.AlignUp(size, 8)
+	if aligned < size {
+		return 0, verify.Require(false, "allocate_grant", "size alignable", "size=%d", size)
+	}
+	if uint64(aligned) >= uint64(m.kernelBreak)-uint64(m.appBreak) {
+		return 0, mpu.ErrHeap(fmt.Sprintf("grant of %d bytes does not fit", aligned))
+	}
+	newKB := m.kernelBreak - aligned
+	// Tock re-runs the whole MPU region update when the grant boundary
+	// moves — the recomputation TickTock's allocate_grant avoids
+	// (Figure 11's −50%).
+	if err := m.drv.UpdateAppMemRegion(m.appBreak, newKB, &m.cfg); err != nil {
+		return 0, err
+	}
+	if err := m.drv.ConfigureMPU(&m.cfg); err != nil {
+		return 0, err
+	}
+	m.kernelBreak = newKB
+	return newKB, nil
+}
+
+func (m *monolithicMM) ConfigureMPU() error { return m.drv.ConfigureMPU(&m.cfg) }
+
+// AccessibleEnd decodes the enabled-subregion end from the registers; it
+// may exceed the believed appBreak (disagreement, §3.2).
+func (m *monolithicMM) AccessibleEnd() uint32 { return m.cfg.SubregsEnabledEnd() }
+
+// ShareRegion maps the foreign span into MPU region 3, the way Tock's
+// monolithic IPC exposes a service's memory to a client.
+func (m *monolithicMM) ShareRegion(start, size uint32, writable bool) error {
+	if !m.drv.AllocateIPCRegion(start, size, writable, &m.cfg) {
+		return mpu.ErrHeap(fmt.Sprintf("ipc span [0x%x,+0x%x) not representable", start, size))
+	}
+	return m.drv.ConfigureMPU(&m.cfg)
+}
+
+// UnshareRegion clears MPU region 3.
+func (m *monolithicMM) UnshareRegion() error {
+	m.cfg.RBAR[3] = 0
+	m.cfg.RASR[3] = 0
+	return m.drv.ConfigureMPU(&m.cfg)
+}
+
+func (m *monolithicMM) DisableMPU() { m.drv.DisableMPU() }
+
+func (m *monolithicMM) Layout() Layout {
+	return Layout{
+		MemoryStart: m.memStart,
+		MemorySize:  m.memSize,
+		AppBreak:    m.appBreak,
+		KernelBreak: m.kernelBreak,
+		FlashStart:  m.flashStart,
+		FlashSize:   m.flashSize,
+	}
+}
+
+// UserCanAccess decodes the accessible span from the MPU configuration
+// registers on every call — a loop over subregion bits, the way Tock's
+// buffer validation walks its config. Compare granularMM.UserCanAccess.
+func (m *monolithicMM) UserCanAccess(start, size uint32, kind mpu.AccessKind) bool {
+	end := uint64(start) + uint64(size)
+	switch kind {
+	case mpu.AccessExecute:
+		m.meter.Add(4 * cycles.ALU)
+		return start >= m.flashStart && end <= uint64(m.flashStart)+uint64(m.flashSize)
+	case mpu.AccessRead:
+		m.meter.Add(4 * cycles.ALU)
+		if start >= m.flashStart && end <= uint64(m.flashStart)+uint64(m.flashSize) {
+			return true
+		}
+	case mpu.AccessWrite:
+	}
+	// Recompute the RAM accessible end from the register bits.
+	m.meter.Add(cycles.Call)
+	accessEnd := m.cfg.RegionStart
+	for i := 0; i < 2; i++ {
+		m.meter.Add(2 * cycles.Load)
+		if m.cfg.RASR[i]&armv7m.RASREnable == 0 {
+			continue
+		}
+		srd := m.cfg.RASR[i] & armv7m.RASRSRDMask >> armv7m.RASRSRDShift
+		for bit := uint32(0); bit < 8; bit++ {
+			m.meter.Add(2 * cycles.ALU)
+			if srd&(1<<bit) == 0 {
+				accessEnd += m.cfg.RegionSize / 8
+			}
+		}
+	}
+	// Clamp the hardware span to the kernel's believed break: Tock must
+	// take the min of the two views or risk handing out grant memory.
+	limit := min(accessEnd, m.appBreak)
+	m.meter.Add(2 * cycles.ALU)
+	return start >= m.memStart && end <= uint64(limit)
+}

@@ -1,0 +1,161 @@
+package kernel
+
+import (
+	"fmt"
+
+	"ticktock/internal/armv7m"
+)
+
+// State is a process lifecycle state.
+type State uint8
+
+// Process states.
+const (
+	// StateReady: runnable.
+	StateReady State = iota
+	// StateYielded: waiting for an upcall (timer or event).
+	StateYielded
+	// StateExited: terminated voluntarily.
+	StateExited
+	// StateFaulted: terminated by the kernel after a fault.
+	StateFaulted
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateReady:
+		return "ready"
+	case StateYielded:
+		return "yielded"
+	case StateExited:
+		return "exited"
+	case StateFaulted:
+		return "faulted"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Buffer is a user-shared buffer registered via an allow syscall.
+type Buffer struct {
+	Addr uint32
+	Len  uint32
+}
+
+// Process is the kernel's per-process record.
+type Process struct {
+	ID    int
+	Name  string
+	State State
+
+	// MM owns this process's memory and MPU bookkeeping.
+	MM MemoryManager
+
+	// Entry is the program entry point in flash.
+	Entry uint32
+
+	// Saved user context: the callee-saved registers the exception
+	// frame does not capture, plus the process stack pointer.
+	SavedRegs [8]uint32 // r4..r11
+	PSP       uint32
+
+	// started reports whether a first exception frame has been built.
+	started bool
+
+	// AllowedRO/AllowedRW are the per-driver shared buffers.
+	AllowedRO map[uint32]Buffer
+	AllowedRW map[uint32]Buffer
+
+	// WakeAt, when non-zero, is the meter cycle count at which a
+	// yielded process becomes ready again (alarm driver).
+	WakeAt uint64
+
+	// ExitCode is set on voluntary exit.
+	ExitCode uint32
+	// FaultReason describes why the process was faulted.
+	FaultReason string
+
+	// Grants tracks allocated grant bases, newest first.
+	Grants []uint32
+
+	// Restarts counts kernel-initiated restarts (fault policy).
+	Restarts int
+
+	// initialBreak and stackSize are remembered from load time so the
+	// restart policy can reset the process.
+	initialBreak uint32
+	stackSize    uint32
+
+	// alarmGrant is the grant-backed alarm driver state (0 until the
+	// first alarm syscall allocates it).
+	alarmGrant uint32
+
+	// Upcalls maps driver number to the subscribed callback.
+	Upcalls map[uint32]Upcall
+	// pendingUpcalls queues scheduled callbacks awaiting a yield.
+	pendingUpcalls []ScheduledUpcall
+	// inUpcall marks that a callback frame is live on the process
+	// stack; yieldPSP is the frame to restore when it returns.
+	inUpcall bool
+	yieldPSP uint32
+	// upcallStub is the address of the injected SVC-return stub.
+	upcallStub uint32
+}
+
+// Upcall is a subscribed callback: a function pointer in the process's
+// flash plus opaque userdata passed back in r3.
+type Upcall struct {
+	Fn       uint32
+	Userdata uint32
+}
+
+// ScheduledUpcall is a queued callback delivery with its three arguments.
+type ScheduledUpcall struct {
+	Driver     uint32
+	A0, A1, A2 uint32
+}
+
+// Runnable reports whether the scheduler may pick the process.
+func (p *Process) Runnable(now uint64) bool {
+	switch p.State {
+	case StateReady:
+		return true
+	case StateYielded:
+		return p.WakeAt != 0 && now >= p.WakeAt
+	default:
+		return false
+	}
+}
+
+// Alive reports whether the process can ever run again.
+func (p *Process) Alive() bool {
+	return p.State == StateReady || p.State == StateYielded
+}
+
+// buildInitialFrame lays a synthetic exception frame on the process stack
+// so the first "resume" is indistinguishable from any later one — exactly
+// how Tock starts processes. The stack pointer starts at the top of the
+// declared stack area and the frame's return address is the entry point.
+func (p *Process) buildInitialFrame(m *armv7m.Machine, stackTop uint32) error {
+	sp := (stackTop &^ 7) - 32 // 8-byte aligned, room for the 8-word frame
+	layout := p.MM.Layout()
+	words := [8]uint32{
+		layout.MemoryStart, // r0: app arguments, Tock passes memory info
+		layout.AppBreak,    // r1
+		layout.MemoryEnd(), // r2
+		layout.FlashStart,  // r3
+		0,                  // r12
+		0xFFFF_FFFF,        // lr: trap if the app returns from main
+		p.Entry,            // return address = entry point
+		0,                  // psr
+	}
+	for i, w := range words {
+		if err := m.Mem.WriteWord(sp+uint32(4*i), w); err != nil {
+			return fmt.Errorf("kernel: building initial frame for %s: %w", p.Name, err)
+		}
+	}
+	p.PSP = sp
+	p.started = true
+	return nil
+}

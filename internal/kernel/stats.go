@@ -1,0 +1,82 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// MethodStat aggregates instrumented cycle counts for one kernel method —
+// the raw data behind Figure 11.
+type MethodStat struct {
+	Count  uint64
+	Cycles uint64
+}
+
+// Mean returns the average cycles per call.
+func (s MethodStat) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.Count)
+}
+
+// Stats collects per-method cycle counts.
+type Stats struct {
+	methods map[string]*MethodStat
+}
+
+// NewStats returns an empty collector.
+func NewStats() *Stats { return &Stats{methods: make(map[string]*MethodStat)} }
+
+// Record adds one timed invocation.
+func (s *Stats) Record(method string, cyc uint64) {
+	st, ok := s.methods[method]
+	if !ok {
+		st = &MethodStat{}
+		s.methods[method] = st
+	}
+	st.Count++
+	st.Cycles += cyc
+}
+
+// Get returns the stat for a method (zero value if never recorded).
+func (s *Stats) Get(method string) MethodStat {
+	if st, ok := s.methods[method]; ok {
+		return *st
+	}
+	return MethodStat{}
+}
+
+// Methods returns the recorded method names, sorted.
+func (s *Stats) Methods() []string {
+	out := make([]string, 0, len(s.methods))
+	for m := range s.methods {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders a Figure 11-style table body.
+func (s *Stats) String() string {
+	var b strings.Builder
+	for _, m := range s.Methods() {
+		st := s.Get(m)
+		fmt.Fprintf(&b, "%-28s %12.2f cycles (%d calls)\n", m, st.Mean(), st.Count)
+	}
+	return b.String()
+}
+
+// Merge folds another collector's counts into this one.
+func (s *Stats) Merge(o *Stats) {
+	for m, st := range o.methods {
+		cur, ok := s.methods[m]
+		if !ok {
+			cur = &MethodStat{}
+			s.methods[m] = cur
+		}
+		cur.Count += st.Count
+		cur.Cycles += st.Cycles
+	}
+}

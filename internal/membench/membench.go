@@ -1,0 +1,180 @@
+// Package membench implements the paper's §6.2 memory microbenchmark: an
+// application that grows its memory one byte at a time until failure, on
+// both kernel flavours, reporting the final footprint — total block size,
+// user-accessible (stack + data + heap) bytes, kernel grant bytes, and
+// unused bytes. A third run configures TickTock with padding so its total
+// matches Tock's, reproducing the paper's padded comparison.
+package membench
+
+import (
+	"fmt"
+	"strings"
+
+	"ticktock/internal/armv7m"
+	"ticktock/internal/core"
+	"ticktock/internal/kernel"
+	"ticktock/internal/monolithic"
+	"ticktock/internal/riscv"
+)
+
+// Workload parameters, chosen to mirror the paper's test app: ~7.8 KiB of
+// declared need with a ~1.2 KiB grant hint.
+const (
+	MinRAM     = 7780
+	InitRAM    = 2048
+	KernelHint = 1200
+	poolStart  = 0x2000_1000
+	poolSize   = 0x0002_0000
+	flashBase  = 0x0008_0000
+	flashSize  = 0x1000
+)
+
+// Result is one row of the microbenchmark.
+type Result struct {
+	Kernel     string
+	Total      uint32 // process memory block size
+	Accessible uint32 // hardware-enforced stack+data+heap bytes
+	Grant      uint32 // kernel-owned grant bytes
+	Unused     uint32 // gap between accessible end and grant start
+	GrowthOps  int    // successful 1-byte growths before failure
+}
+
+// UnusedPct returns unused memory as a percentage of the total.
+func (r Result) UnusedPct() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return 100 * float64(r.Unused) / float64(r.Total)
+}
+
+// newMM constructs a memory manager of the requested flavour over fresh
+// hardware.
+func newMM(fl kernel.Flavour, padding uint32) kernel.MemoryManager {
+	hw := armv7m.NewMPUHardware()
+	if fl == kernel.FlavourTock {
+		return kernel.NewMonolithicMM(hw, nil, monolithic.BugSet{})
+	}
+	return kernel.NewGranularMM(hw, nil, padding)
+}
+
+// Run grows a process's memory byte by byte until the kernel refuses, and
+// reports the final footprint.
+func Run(fl kernel.Flavour, padding uint32) (Result, error) {
+	mm := newMM(fl, padding)
+	if err := mm.Allocate(poolStart, poolSize, MinRAM, InitRAM, KernelHint, flashBase, flashSize); err != nil {
+		return Result{}, fmt.Errorf("membench: allocate on %s: %w", fl, err)
+	}
+	ops := 0
+	for {
+		if _, err := mm.Sbrk(1); err != nil {
+			break
+		}
+		ops++
+		if ops > 1<<20 {
+			return Result{}, fmt.Errorf("membench: growth never failed")
+		}
+	}
+	l := mm.Layout()
+	access := mm.AccessibleEnd() - l.MemoryStart
+	name := "TickTock"
+	if fl == kernel.FlavourTock {
+		name = "Tock"
+	} else if padding > 0 {
+		name = "TickTock(padded)"
+	}
+	return Result{
+		Kernel:     name,
+		Total:      l.MemorySize,
+		Accessible: access,
+		Grant:      l.GrantSize(),
+		Unused:     l.MemorySize - access - l.GrantSize(),
+		GrowthOps:  ops,
+	}, nil
+}
+
+// RunAll produces the three paper rows: TickTock, Tock, and TickTock
+// padded to Tock's total.
+func RunAll() ([]Result, error) {
+	tt, err := Run(kernel.FlavourTickTock, 0)
+	if err != nil {
+		return nil, err
+	}
+	tk, err := Run(kernel.FlavourTock, 0)
+	if err != nil {
+		return nil, err
+	}
+	out := []Result{tt, tk}
+	if tk.Total > tt.Total {
+		padded, err := Run(kernel.FlavourTickTock, tk.Total-tt.Total)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, padded)
+	}
+	return out, nil
+}
+
+// Table renders the results.
+func Table(rows []Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %8s %12s %8s %8s %8s\n", "kernel", "total", "accessible", "grant", "unused", "unused%")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %8d %12d %8d %8d %7.2f%%\n",
+			r.Kernel, r.Total, r.Accessible, r.Grant, r.Unused, r.UnusedPct())
+	}
+	return b.String()
+}
+
+// RISCVResult extends the microbenchmark to the RISC-V chips: the PMP's
+// byte-granular (TOR) regions allocate to exact need, while the NAPOT-only
+// chip pays power-of-two alignment — the same axis of hardware variability
+// the §6.2 comparison explores between Tock and TickTock on ARM.
+type RISCVResult struct {
+	Chip string
+	Result
+}
+
+// RunRISCV grows a process byte by byte on one RISC-V chip.
+func RunRISCV(chip riscv.ChipConfig) (RISCVResult, error) {
+	drv := core.NewPMPMPU(riscv.NewPMP(chip))
+	alloc := core.NewAllocator[core.PMPRegion](drv, core.Config{})
+	if err := alloc.AllocateAppMemory(0x8000_1000, 0x2_0000, MinRAM, InitRAM, KernelHint, 0x2000_0000, 0x1000); err != nil {
+		return RISCVResult{}, fmt.Errorf("membench: %s: %w", chip.Name, err)
+	}
+	ops := 0
+	for {
+		if _, err := alloc.Sbrk(1); err != nil {
+			break
+		}
+		ops++
+		if ops > 1<<20 {
+			return RISCVResult{}, fmt.Errorf("membench: growth never failed on %s", chip.Name)
+		}
+	}
+	b := alloc.Breaks()
+	access := b.AppBreak() - b.MemoryStart()
+	return RISCVResult{
+		Chip: chip.Name,
+		Result: Result{
+			Kernel:     "TickTock/" + chip.Name,
+			Total:      b.MemorySize(),
+			Accessible: access,
+			Grant:      b.GrantSize(),
+			Unused:     b.MemorySize() - access - b.GrantSize(),
+			GrowthOps:  ops,
+		},
+	}, nil
+}
+
+// RunAllRISCV runs the microbenchmark on every supported chip.
+func RunAllRISCV() ([]RISCVResult, error) {
+	var out []RISCVResult
+	for _, chip := range riscv.Chips {
+		r, err := RunRISCV(chip)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

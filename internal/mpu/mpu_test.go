@@ -1,0 +1,62 @@
+package mpu
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPermissionsPredicates(t *testing.T) {
+	cases := []struct {
+		p       Permissions
+		r, w, x bool
+	}{
+		{NoAccess, false, false, false},
+		{ReadOnly, true, false, false},
+		{ReadWriteOnly, true, true, false},
+		{ReadExecuteOnly, true, false, true},
+		{ReadWriteExecute, true, true, true},
+	}
+	for _, c := range cases {
+		if c.p.AllowsRead() != c.r || c.p.AllowsWrite() != c.w || c.p.AllowsExecute() != c.x {
+			t.Fatalf("%v predicates wrong", c.p)
+		}
+		if c.p.Allows(AccessRead) != c.r || c.p.Allows(AccessWrite) != c.w || c.p.Allows(AccessExecute) != c.x {
+			t.Fatalf("%v Allows() inconsistent", c.p)
+		}
+	}
+}
+
+func TestPermissionsStrings(t *testing.T) {
+	if NoAccess.String() != "---" || ReadWriteOnly.String() != "rw-" || ReadExecuteOnly.String() != "r-x" {
+		t.Fatal("permission strings wrong")
+	}
+	if Permissions(99).String() == "" {
+		t.Fatal("unknown permission has empty string")
+	}
+}
+
+func TestAccessKindStrings(t *testing.T) {
+	if AccessRead.String() != "read" || AccessWrite.String() != "write" || AccessExecute.String() != "execute" {
+		t.Fatal("access kind strings wrong")
+	}
+}
+
+func TestProtectionErrorMessage(t *testing.T) {
+	e := &ProtectionError{Addr: 0x2000_0000, Kind: AccessWrite}
+	if !strings.Contains(e.Error(), "unprivileged write access to 0x20000000") {
+		t.Fatalf("msg=%q", e.Error())
+	}
+	e.Privileged = true
+	if !strings.Contains(e.Error(), "privileged") {
+		t.Fatalf("msg=%q", e.Error())
+	}
+}
+
+func TestAllocateErrors(t *testing.T) {
+	if !strings.Contains(ErrFlash("x").Error(), "flash region: x") {
+		t.Fatal("ErrFlash format")
+	}
+	if !strings.Contains(ErrHeap("y").Error(), "ram region: y") {
+		t.Fatal("ErrHeap format")
+	}
+}

@@ -1,0 +1,155 @@
+// Package physmem models the physical address space of a microcontroller
+// as a sorted set of non-overlapping, byte-backed segments (flash, RAM,
+// peripherals). All accesses are little-endian. Both the ARMv7-M machine
+// model (internal/armv7m) and the RV32 machine model (internal/rv32)
+// execute against this memory; protection (MPU/PMP) is layered on top by
+// each architecture.
+package physmem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Segment is a contiguous range of backed physical memory.
+type Segment struct {
+	Name string
+	Base uint32
+	Data []byte
+}
+
+// Contains reports whether addr falls inside the segment.
+func (s *Segment) Contains(addr uint32) bool {
+	return addr >= s.Base && uint64(addr) < uint64(s.Base)+uint64(len(s.Data))
+}
+
+// End returns the first address past the segment.
+func (s *Segment) End() uint32 { return s.Base + uint32(len(s.Data)) }
+
+// BusError reports an access to unmapped physical memory.
+type BusError struct {
+	Addr uint32
+}
+
+// Error implements the error interface.
+func (e *BusError) Error() string {
+	return fmt.Sprintf("armv7m: bus fault: no memory mapped at 0x%08x", e.Addr)
+}
+
+// Memory models the physical address space of the microcontroller as a
+// sorted set of non-overlapping segments (flash, RAM, peripherals).
+// All accesses are little-endian, matching ARMv7-M.
+type Memory struct {
+	segs []*Segment
+}
+
+// NewMemory returns an empty address space.
+func NewMemory() *Memory { return &Memory{} }
+
+// Map adds a segment backed by size zeroed bytes. It returns an error if
+// the new segment overlaps an existing one or wraps the address space.
+func (m *Memory) Map(name string, base uint32, size uint32) (*Segment, error) {
+	if size == 0 {
+		return nil, fmt.Errorf("armv7m: segment %q has zero size", name)
+	}
+	if uint64(base)+uint64(size) > 1<<32 {
+		return nil, fmt.Errorf("armv7m: segment %q wraps the 32-bit address space", name)
+	}
+	seg := &Segment{Name: name, Base: base, Data: make([]byte, size)}
+	for _, s := range m.segs {
+		if base < s.End() && s.Base < seg.End() {
+			return nil, fmt.Errorf("armv7m: segment %q overlaps %q", name, s.Name)
+		}
+	}
+	m.segs = append(m.segs, seg)
+	sort.Slice(m.segs, func(i, j int) bool { return m.segs[i].Base < m.segs[j].Base })
+	return seg, nil
+}
+
+// Segment returns the segment containing addr, or nil.
+func (m *Memory) Segment(addr uint32) *Segment {
+	// Binary search over sorted segment bases.
+	i := sort.Search(len(m.segs), func(i int) bool { return m.segs[i].End() > addr })
+	if i < len(m.segs) && m.segs[i].Contains(addr) {
+		return m.segs[i]
+	}
+	return nil
+}
+
+// Segments returns all mapped segments in address order.
+func (m *Memory) Segments() []*Segment { return m.segs }
+
+// checkSpan verifies [addr, addr+n) is fully backed by one segment.
+func (m *Memory) checkSpan(addr uint32, n uint32) (*Segment, error) {
+	seg := m.Segment(addr)
+	if seg == nil || uint64(addr)+uint64(n) > uint64(seg.End()) {
+		return nil, &BusError{Addr: addr}
+	}
+	return seg, nil
+}
+
+// ReadByte loads one byte.
+func (m *Memory) LoadByte(addr uint32) (byte, error) {
+	seg, err := m.checkSpan(addr, 1)
+	if err != nil {
+		return 0, err
+	}
+	return seg.Data[addr-seg.Base], nil
+}
+
+// WriteByte stores one byte.
+func (m *Memory) StoreByte(addr uint32, v byte) error {
+	seg, err := m.checkSpan(addr, 1)
+	if err != nil {
+		return err
+	}
+	seg.Data[addr-seg.Base] = v
+	return nil
+}
+
+// ReadWord loads a little-endian 32-bit word.
+func (m *Memory) ReadWord(addr uint32) (uint32, error) {
+	seg, err := m.checkSpan(addr, 4)
+	if err != nil {
+		return 0, err
+	}
+	off := addr - seg.Base
+	d := seg.Data[off : off+4]
+	return uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24, nil
+}
+
+// WriteWord stores a little-endian 32-bit word.
+func (m *Memory) WriteWord(addr uint32, v uint32) error {
+	seg, err := m.checkSpan(addr, 4)
+	if err != nil {
+		return err
+	}
+	off := addr - seg.Base
+	seg.Data[off+0] = byte(v)
+	seg.Data[off+1] = byte(v >> 8)
+	seg.Data[off+2] = byte(v >> 16)
+	seg.Data[off+3] = byte(v >> 24)
+	return nil
+}
+
+// ReadBytes copies n bytes starting at addr.
+func (m *Memory) ReadBytes(addr uint32, n uint32) ([]byte, error) {
+	seg, err := m.checkSpan(addr, n)
+	if err != nil {
+		return nil, err
+	}
+	off := addr - seg.Base
+	out := make([]byte, n)
+	copy(out, seg.Data[off:off+n])
+	return out, nil
+}
+
+// WriteBytes stores b starting at addr.
+func (m *Memory) WriteBytes(addr uint32, b []byte) error {
+	seg, err := m.checkSpan(addr, uint32(len(b)))
+	if err != nil {
+		return err
+	}
+	copy(seg.Data[addr-seg.Base:], b)
+	return nil
+}

@@ -1,0 +1,41 @@
+package physmem
+
+import "testing"
+
+// The exhaustive memory-model tests live in internal/armv7m (through the
+// package's aliases); this file covers the direct API surface.
+
+func TestDirectAPI(t *testing.T) {
+	m := NewMemory()
+	seg, err := m.Map("ram", 0x1000, 0x100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.Name != "ram" || seg.End() != 0x1100 || !seg.Contains(0x10FF) || seg.Contains(0x1100) {
+		t.Fatalf("segment=%+v", seg)
+	}
+	if got := len(m.Segments()); got != 1 {
+		t.Fatalf("segments=%d", got)
+	}
+	if err := m.WriteWord(0x1004, 0x11223344); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.ReadWord(0x1004)
+	if err != nil || v != 0x11223344 {
+		t.Fatalf("v=0x%x err=%v", v, err)
+	}
+	var be *BusError
+	if _, err := m.ReadWord(0x2000); err == nil {
+		t.Fatal("unmapped read succeeded")
+	} else if !asBusError(err, &be) || be.Addr != 0x2000 {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func asBusError(err error, target **BusError) bool {
+	b, ok := err.(*BusError)
+	if ok {
+		*target = b
+	}
+	return ok
+}

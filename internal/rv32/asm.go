@@ -1,0 +1,88 @@
+package rv32
+
+import "fmt"
+
+// Assembler builds a Program with symbolic labels, resolving branch and
+// jump targets to absolute addresses at Assemble time.
+type Assembler struct {
+	base   uint32
+	instrs []Instr
+	labels map[string]uint32
+	fixups []fixup
+}
+
+type fixup struct {
+	index int
+	label string
+}
+
+// NewAssembler starts a program at the given base address.
+func NewAssembler(base uint32) *Assembler {
+	return &Assembler{base: base, labels: make(map[string]uint32)}
+}
+
+// PC returns the address of the next emitted instruction.
+func (a *Assembler) PC() uint32 { return a.base + uint32(4*len(a.instrs)) }
+
+// Label defines a label at the current position.
+func (a *Assembler) Label(name string) *Assembler {
+	a.labels[name] = a.PC()
+	return a
+}
+
+// Emit appends a resolved instruction.
+func (a *Assembler) Emit(in Instr) *Assembler {
+	a.instrs = append(a.instrs, in)
+	return a
+}
+
+// BTo emits a conditional branch to a label.
+func (a *Assembler) BTo(cond BCond, rs1, rs2 Reg, label string) *Assembler {
+	a.fixups = append(a.fixups, fixup{index: len(a.instrs), label: label})
+	a.instrs = append(a.instrs, B{Cond: cond, Rs1: rs1, Rs2: rs2})
+	return a
+}
+
+// JTo emits an unconditional jump (jal x0) to a label.
+func (a *Assembler) JTo(label string) *Assembler {
+	a.fixups = append(a.fixups, fixup{index: len(a.instrs), label: label})
+	a.instrs = append(a.instrs, Jal{Rd: Zero})
+	return a
+}
+
+// CallTo emits jal ra, label.
+func (a *Assembler) CallTo(label string) *Assembler {
+	a.fixups = append(a.fixups, fixup{index: len(a.instrs), label: label})
+	a.instrs = append(a.instrs, Jal{Rd: RA})
+	return a
+}
+
+// Assemble resolves fixups and returns the program.
+func (a *Assembler) Assemble() (*Program, error) {
+	for _, f := range a.fixups {
+		addr, ok := a.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("rv32: undefined label %q", f.label)
+		}
+		switch in := a.instrs[f.index].(type) {
+		case B:
+			in.Addr = addr
+			a.instrs[f.index] = in
+		case Jal:
+			in.Addr = addr
+			a.instrs[f.index] = in
+		default:
+			return nil, fmt.Errorf("rv32: fixup on non-branch at %d", f.index)
+		}
+	}
+	return &Program{Base: a.base, Instrs: a.instrs}, nil
+}
+
+// MustAssemble panics on error; for statically-known programs.
+func (a *Assembler) MustAssemble() *Program {
+	p, err := a.Assemble()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,352 @@
+// Package rv32 implements a cycle-counting model of a 32-bit RISC-V
+// microcontroller: an RV32IM-subset CPU with machine/user privilege
+// modes, trap CSRs (mepc/mcause/mtval), a CLINT-style machine timer, and
+// physical memory protection through the internal/riscv PMP model.
+//
+// It is the RISC-V counterpart of internal/armv7m and plays the role QEMU
+// plays in the paper's §6.1 evaluation: a software target that runs the
+// release-test applications on the three supported chips so the kernel's
+// RISC-V port can be differentially tested without hardware.
+package rv32
+
+import (
+	"fmt"
+	"sort"
+
+	"ticktock/internal/cycles"
+	"ticktock/internal/mpu"
+	"ticktock/internal/physmem"
+	"ticktock/internal/riscv"
+)
+
+// Reg is an integer register number x0..x31. x0 is hardwired to zero.
+type Reg uint8
+
+// ABI register names.
+const (
+	Zero Reg = 0
+	RA   Reg = 1
+	SP   Reg = 2
+	GP   Reg = 3
+	TP   Reg = 4
+	T0   Reg = 5
+	T1   Reg = 6
+	T2   Reg = 7
+	S0   Reg = 8
+	S1   Reg = 9
+	A0   Reg = 10
+	A1   Reg = 11
+	A2   Reg = 12
+	A3   Reg = 13
+	A4   Reg = 14
+	A5   Reg = 15
+	A6   Reg = 16
+	A7   Reg = 17
+	S2   Reg = 18
+	S3   Reg = 19
+	S4   Reg = 20
+	S5   Reg = 21
+	S6   Reg = 22
+	S7   Reg = 23
+	S8   Reg = 24
+	S9   Reg = 25
+	S10  Reg = 26
+	S11  Reg = 27
+	T3   Reg = 28
+	T4   Reg = 29
+	T5   Reg = 30
+	T6   Reg = 31
+)
+
+// Priv is the privilege mode.
+type Priv uint8
+
+// Privilege modes (no supervisor mode on these chips).
+const (
+	PrivUser    Priv = 0
+	PrivMachine Priv = 3
+)
+
+// String implements fmt.Stringer.
+func (p Priv) String() string {
+	if p == PrivMachine {
+		return "machine"
+	}
+	return "user"
+}
+
+// mcause values (privileged spec table 3.6).
+const (
+	CauseInstrAccessFault = 1
+	CauseIllegalInstr     = 2
+	CauseBreakpoint       = 3
+	CauseLoadAccessFault  = 5
+	CauseStoreAccessFault = 7
+	CauseEcallU           = 8
+	CauseEcallM           = 11
+	// CauseMachineTimer is the interrupt cause with the interrupt bit.
+	CauseMachineTimer = 0x8000_0007
+)
+
+// CSR state the model tracks.
+type CSRs struct {
+	MEPC   uint32
+	MCause uint32
+	MTVal  uint32
+	// MPP is the previous privilege (mstatus.MPP) used by MRET.
+	MPP Priv
+}
+
+// CLINT is the core-local interrupt timer: a countdown that latches a
+// machine-timer interrupt, mirroring mtime/mtimecmp behaviour at the
+// granularity this model needs.
+type CLINT struct {
+	Enabled bool
+	current uint64
+	pending bool
+	Fired   uint64
+}
+
+// Arm starts a countdown of n cycles.
+func (c *CLINT) Arm(n uint64) { c.Enabled, c.current, c.pending = true, n, false }
+
+// Disarm stops the timer.
+func (c *CLINT) Disarm() { c.Enabled, c.pending = false, false }
+
+// Advance counts down by n cycles.
+func (c *CLINT) Advance(n uint64) {
+	if !c.Enabled {
+		return
+	}
+	if c.current > n {
+		c.current -= n
+		return
+	}
+	c.current = 0
+	if !c.pending {
+		c.pending = true
+		c.Fired++
+	}
+}
+
+// TakePending consumes a pending timer interrupt.
+func (c *CLINT) TakePending() bool {
+	p := c.pending
+	c.pending = false
+	return p
+}
+
+// Program is a sequence of decoded instructions at a flash base; each
+// occupies 4 bytes.
+type Program struct {
+	Base   uint32
+	Instrs []Instr
+}
+
+// End returns the first address past the program.
+func (p *Program) End() uint32 { return p.Base + uint32(4*len(p.Instrs)) }
+
+// At returns the instruction at addr, or nil.
+func (p *Program) At(addr uint32) Instr {
+	if addr < p.Base || addr >= p.End() || (addr-p.Base)%4 != 0 {
+		return nil
+	}
+	return p.Instrs[(addr-p.Base)/4]
+}
+
+// StopReason explains why Run returned to native (kernel) code.
+type StopReason uint8
+
+// Stop reasons.
+const (
+	StopEcall StopReason = iota
+	StopTimer
+	StopFault
+	StopBudget
+	StopWFI
+)
+
+// String implements fmt.Stringer.
+func (r StopReason) String() string {
+	switch r {
+	case StopEcall:
+		return "ecall"
+	case StopTimer:
+		return "timer"
+	case StopFault:
+		return "fault"
+	case StopBudget:
+		return "budget"
+	case StopWFI:
+		return "wfi"
+	default:
+		return fmt.Sprintf("StopReason(%d)", uint8(r))
+	}
+}
+
+// Stop describes a trap into the kernel.
+type Stop struct {
+	Reason StopReason
+	Cause  uint32
+	Fault  error
+}
+
+// Machine is one simulated RISC-V chip.
+type Machine struct {
+	X     [32]uint32
+	PC    uint32
+	Priv  Priv
+	CSR   CSRs
+	Mem   *physmem.Memory
+	PMP   *riscv.PMP
+	Timer CLINT
+	Meter *cycles.Meter
+
+	progs []*Program
+
+	pcWritten bool
+}
+
+// NewMachine builds a machine for the given chip configuration.
+func NewMachine(mem *physmem.Memory, chip riscv.ChipConfig) *Machine {
+	return &Machine{
+		Mem:   mem,
+		PMP:   riscv.NewPMP(chip),
+		Meter: &cycles.Meter{},
+		Priv:  PrivMachine,
+	}
+}
+
+// LoadProgram maps a program into the instruction space.
+func (m *Machine) LoadProgram(p *Program) error {
+	for _, q := range m.progs {
+		if p.Base < q.End() && q.Base < p.End() {
+			return fmt.Errorf("rv32: program at 0x%08x overlaps 0x%08x", p.Base, q.Base)
+		}
+	}
+	m.progs = append(m.progs, p)
+	sort.Slice(m.progs, func(i, j int) bool { return m.progs[i].Base < m.progs[j].Base })
+	return nil
+}
+
+// reg reads a register (x0 reads as zero).
+func (m *Machine) reg(r Reg) uint32 {
+	if r == 0 {
+		return 0
+	}
+	return m.X[r]
+}
+
+// setReg writes a register (writes to x0 are discarded).
+func (m *Machine) setReg(r Reg, v uint32) {
+	if r != 0 {
+		m.X[r] = v
+	}
+}
+
+// writePC records an explicit PC write.
+func (m *Machine) writePC(v uint32) {
+	m.PC = v
+	m.pcWritten = true
+}
+
+// machineMode reports whether PMP checks run with M-mode rights.
+func (m *Machine) machineMode() bool { return m.Priv == PrivMachine }
+
+// check runs the PMP check at the current privilege.
+func (m *Machine) check(addr uint32, kind mpu.AccessKind) error {
+	return m.PMP.Check(addr, kind, m.machineMode())
+}
+
+// fetch returns the instruction at addr after a PMP execute check.
+func (m *Machine) fetch(addr uint32) (Instr, error) {
+	if err := m.check(addr, mpu.AccessExecute); err != nil {
+		return nil, err
+	}
+	for _, p := range m.progs {
+		if in := p.At(addr); in != nil {
+			return in, nil
+		}
+	}
+	return nil, &physmem.BusError{Addr: addr}
+}
+
+// trap records trap state and drops to machine mode.
+func (m *Machine) trap(cause, tval uint32) {
+	m.CSR.MEPC = m.PC
+	m.CSR.MCause = cause
+	m.CSR.MTVal = tval
+	m.CSR.MPP = m.Priv
+	m.Priv = PrivMachine
+	m.Meter.Add(cycles.Exception)
+}
+
+// ResumeUser performs what MRET does after the kernel prepared MEPC: drop
+// to user mode and continue at the given PC.
+func (m *Machine) ResumeUser(pc uint32) {
+	m.PC = pc
+	m.Priv = PrivUser
+	m.Meter.Add(cycles.Exception)
+}
+
+// Step executes one instruction, returning a Stop when a trap was taken.
+func (m *Machine) Step() (*Stop, error) {
+	if m.Priv == PrivUser && m.Timer.TakePending() {
+		m.trap(CauseMachineTimer, 0)
+		return &Stop{Reason: StopTimer, Cause: CauseMachineTimer}, nil
+	}
+	in, err := m.fetch(m.PC)
+	if err != nil {
+		cause := uint32(CauseInstrAccessFault)
+		m.trap(cause, m.PC)
+		return &Stop{Reason: StopFault, Cause: cause, Fault: err}, nil
+	}
+	m.pcWritten = false
+	execErr := in.Exec(m)
+	cost := in.Cost()
+	m.Meter.Add(cost)
+	m.Timer.Advance(cost)
+	if execErr != nil {
+		switch e := execErr.(type) {
+		case *ecallTrap:
+			cause := uint32(CauseEcallU)
+			if m.Priv == PrivMachine {
+				cause = CauseEcallM
+			}
+			m.trap(cause, 0)
+			return &Stop{Reason: StopEcall, Cause: cause}, nil
+		case *wfiTrap:
+			m.PC += 4
+			return &Stop{Reason: StopWFI}, nil
+		case *illegalTrap:
+			m.trap(CauseIllegalInstr, 0)
+			return &Stop{Reason: StopFault, Cause: CauseIllegalInstr, Fault: e}, nil
+		case *accessFault:
+			m.trap(e.cause, e.addr)
+			return &Stop{Reason: StopFault, Cause: e.cause, Fault: e.inner}, nil
+		default:
+			return nil, execErr
+		}
+	}
+	if !m.pcWritten {
+		m.PC += 4
+	}
+	return nil, nil
+}
+
+// Run steps until a trap or the cycle budget is exhausted (0 = unlimited).
+func (m *Machine) Run(budget uint64) (*Stop, error) {
+	start := m.Meter.Cycles()
+	for {
+		stop, err := m.Step()
+		if err != nil {
+			return nil, err
+		}
+		if stop != nil {
+			return stop, nil
+		}
+		if budget != 0 && m.Meter.Cycles()-start >= budget {
+			return &Stop{Reason: StopBudget}, nil
+		}
+	}
+}

@@ -1,0 +1,295 @@
+package rv32
+
+import (
+	"testing"
+
+	"ticktock/internal/mpu"
+	"ticktock/internal/physmem"
+	"ticktock/internal/riscv"
+)
+
+func testMachine(t *testing.T, chip riscv.ChipConfig) *Machine {
+	t.Helper()
+	mem := physmem.NewMemory()
+	if _, err := mem.Map("flash", 0x2000_0000, 0x10000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mem.Map("ram", 0x8000_0000, 0x10000); err != nil {
+		t.Fatal(err)
+	}
+	return NewMachine(mem, chip)
+}
+
+func start(t *testing.T, m *Machine, p *Program) {
+	t.Helper()
+	if err := m.LoadProgram(p); err != nil {
+		t.Fatal(err)
+	}
+	m.PC = p.Base
+	m.X[SP] = 0x8000_FF00
+}
+
+func TestArithmeticLoop(t *testing.T) {
+	m := testMachine(t, riscv.ChipHiFive1)
+	a := NewAssembler(0x2000_0000)
+	a.Emit(Li{A0, 0}).
+		Emit(Li{T0, 5}).
+		Label("loop").
+		BTo(BEQ, T0, Zero, "done").
+		Emit(Add{A0, A0, T0}).
+		Emit(Addi{T0, T0, -1}).
+		JTo("loop").
+		Label("done").
+		Emit(Wfi{})
+	start(t, m, a.MustAssemble())
+	stop, err := m.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stop.Reason != StopWFI || m.X[A0] != 15 {
+		t.Fatalf("stop=%v a0=%d", stop.Reason, m.X[A0])
+	}
+}
+
+func TestX0IsHardwiredZero(t *testing.T) {
+	m := testMachine(t, riscv.ChipHiFive1)
+	a := NewAssembler(0x2000_0000)
+	a.Emit(Li{Zero, 42}).
+		Emit(Add{A0, Zero, Zero}).
+		Emit(Wfi{})
+	start(t, m, a.MustAssemble())
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.X[A0] != 0 {
+		t.Fatalf("x0 writable: a0=%d", m.X[A0])
+	}
+}
+
+func TestLoadStoreAndByteOps(t *testing.T) {
+	m := testMachine(t, riscv.ChipHiFive1)
+	a := NewAssembler(0x2000_0000)
+	a.Emit(Li{T0, 0x8000_0100}).
+		Emit(Li{T1, 0xCAFE_BABE}).
+		Emit(Sw{T1, T0, 0}).
+		Emit(Lw{A0, T0, 0}).
+		Emit(Li{T2, 0x7F}).
+		Emit(Sb{T2, T0, 8}).
+		Emit(Lbu{A1, T0, 8}).
+		Emit(Wfi{})
+	start(t, m, a.MustAssemble())
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.X[A0] != 0xCAFE_BABE || m.X[A1] != 0x7F {
+		t.Fatalf("a0=0x%x a1=0x%x", m.X[A0], m.X[A1])
+	}
+}
+
+func TestCallAndReturn(t *testing.T) {
+	m := testMachine(t, riscv.ChipHiFive1)
+	a := NewAssembler(0x2000_0000)
+	a.CallTo("fn").
+		Emit(Wfi{}).
+		Label("fn").
+		Emit(Li{A0, 77}).
+		Emit(Jalr{Rd: Zero, Rs1: RA})
+	start(t, m, a.MustAssemble())
+	stop, err := m.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stop.Reason != StopWFI || m.X[A0] != 77 {
+		t.Fatalf("stop=%v a0=%d", stop.Reason, m.X[A0])
+	}
+}
+
+func TestEcallTrapsToMachineMode(t *testing.T) {
+	m := testMachine(t, riscv.ChipHiFive1)
+	a := NewAssembler(0x2000_0000)
+	a.Emit(Li{A0, 123}).
+		Emit(Li{A7, 5}).
+		Emit(Ecall{}).
+		Emit(Li{A1, 99}).
+		Emit(Wfi{})
+	prog := a.MustAssemble()
+	start(t, m, prog)
+	// Run in user mode with PMP allowing the code region r-x.
+	reg, _ := riscv.EncodeNAPOT(0x2000_0000, 0x10000)
+	if err := m.PMP.SetEntry(0, riscv.EncodeCfg(mpu.ReadExecuteOnly, riscv.ANapot), reg); err != nil {
+		t.Fatal(err)
+	}
+	m.Priv = PrivUser
+	stop, err := m.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stop.Reason != StopEcall || stop.Cause != CauseEcallU {
+		t.Fatalf("stop=%+v", stop)
+	}
+	if m.Priv != PrivMachine {
+		t.Fatal("trap did not raise privilege")
+	}
+	if m.CSR.MEPC != prog.Base+8 {
+		t.Fatalf("mepc=0x%x", m.CSR.MEPC)
+	}
+	if m.X[A0] != 123 || m.X[A7] != 5 {
+		t.Fatal("trap clobbered argument registers")
+	}
+	// Kernel-style resume past the ecall.
+	m.ResumeUser(m.CSR.MEPC + 4)
+	stop, err = m.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stop.Reason != StopWFI || m.X[A1] != 99 {
+		t.Fatalf("resume failed: stop=%v a1=%d", stop.Reason, m.X[A1])
+	}
+}
+
+func TestPMPFaultsUserStore(t *testing.T) {
+	for _, chip := range riscv.Chips {
+		t.Run(chip.Name, func(t *testing.T) {
+			m := testMachine(t, chip)
+			a := NewAssembler(0x2000_0000)
+			a.Emit(Li{T0, 0x8000_8000}).
+				Emit(Li{T1, 0x42}).
+				Emit(Sw{T1, T0, 0}).
+				Emit(Wfi{})
+			start(t, m, a.MustAssemble())
+			reg, _ := riscv.EncodeNAPOT(0x2000_0000, 0x10000)
+			if err := m.PMP.SetEntry(0, riscv.EncodeCfg(mpu.ReadExecuteOnly, riscv.ANapot), reg); err != nil {
+				t.Fatal(err)
+			}
+			// User RAM window: 0x80000000..0x80000400 only.
+			ram, _ := riscv.EncodeNAPOT(0x8000_0000, 0x400)
+			if err := m.PMP.SetEntry(1, riscv.EncodeCfg(mpu.ReadWriteOnly, riscv.ANapot), ram); err != nil {
+				t.Fatal(err)
+			}
+			m.Priv = PrivUser
+			stop, err := m.Run(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stop.Reason != StopFault || stop.Cause != CauseStoreAccessFault {
+				t.Fatalf("stop=%+v", stop)
+			}
+			if m.CSR.MTVal != 0x8000_8000 {
+				t.Fatalf("mtval=0x%x", m.CSR.MTVal)
+			}
+			// The store must not have landed.
+			v, _ := m.Mem.ReadWord(0x8000_8000)
+			if v != 0 {
+				t.Fatal("faulting store mutated memory")
+			}
+		})
+	}
+}
+
+func TestTimerPreemptsUserCode(t *testing.T) {
+	m := testMachine(t, riscv.ChipLiteX)
+	a := NewAssembler(0x2000_0000)
+	a.Label("loop").
+		Emit(Addi{A0, A0, 1}).
+		JTo("loop")
+	start(t, m, a.MustAssemble())
+	reg, _ := riscv.EncodeNAPOT(0x2000_0000, 0x10000)
+	if err := m.PMP.SetEntry(0, riscv.EncodeCfg(mpu.ReadExecuteOnly, riscv.ANapot), reg); err != nil {
+		t.Fatal(err)
+	}
+	m.Priv = PrivUser
+	m.Timer.Arm(100)
+	stop, err := m.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stop.Reason != StopTimer || stop.Cause != CauseMachineTimer {
+		t.Fatalf("stop=%+v", stop)
+	}
+	if m.X[A0] == 0 {
+		t.Fatal("no progress before preemption")
+	}
+	count := m.X[A0]
+	// Resume; the loop continues.
+	m.Timer.Arm(100)
+	m.ResumeUser(m.CSR.MEPC)
+	stop, err = m.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stop.Reason != StopTimer || m.X[A0] <= count {
+		t.Fatalf("resume broken: %v a0=%d->%d", stop.Reason, count, m.X[A0])
+	}
+}
+
+func TestCSRAccessIllegalFromUser(t *testing.T) {
+	m := testMachine(t, riscv.ChipHiFive1)
+	a := NewAssembler(0x2000_0000)
+	a.Emit(CsrAccess{CSR: 0x300}).Emit(Wfi{})
+	start(t, m, a.MustAssemble())
+	reg, _ := riscv.EncodeNAPOT(0x2000_0000, 0x10000)
+	if err := m.PMP.SetEntry(0, riscv.EncodeCfg(mpu.ReadExecuteOnly, riscv.ANapot), reg); err != nil {
+		t.Fatal(err)
+	}
+	m.Priv = PrivUser
+	stop, err := m.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stop.Reason != StopFault || stop.Cause != CauseIllegalInstr {
+		t.Fatalf("stop=%+v", stop)
+	}
+}
+
+func TestFetchOutsidePMPFaults(t *testing.T) {
+	m := testMachine(t, riscv.ChipHiFive1)
+	a := NewAssembler(0x2000_0000)
+	a.Emit(Wfi{})
+	start(t, m, a.MustAssemble())
+	// No PMP entries at all: user fetch must fault.
+	m.Priv = PrivUser
+	stop, err := m.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stop.Reason != StopFault || stop.Cause != CauseInstrAccessFault {
+		t.Fatalf("stop=%+v", stop)
+	}
+}
+
+func TestBudgetStops(t *testing.T) {
+	m := testMachine(t, riscv.ChipHiFive1)
+	a := NewAssembler(0x2000_0000)
+	a.Label("loop").JTo("loop")
+	start(t, m, a.MustAssemble())
+	stop, err := m.Run(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stop.Reason != StopBudget {
+		t.Fatalf("stop=%v", stop.Reason)
+	}
+}
+
+func TestDivuByZero(t *testing.T) {
+	m := testMachine(t, riscv.ChipHiFive1)
+	a := NewAssembler(0x2000_0000)
+	a.Emit(Li{T0, 10}).
+		Emit(Divu{A0, T0, Zero}).
+		Emit(Wfi{})
+	start(t, m, a.MustAssemble())
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.X[A0] != 0xFFFF_FFFF {
+		t.Fatalf("divu/0 = 0x%x", m.X[A0])
+	}
+}
+
+func TestAssemblerUndefinedLabel(t *testing.T) {
+	a := NewAssembler(0)
+	a.JTo("nowhere")
+	if _, err := a.Assemble(); err == nil {
+		t.Fatal("undefined label accepted")
+	}
+}

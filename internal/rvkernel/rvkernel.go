@@ -1,0 +1,498 @@
+// Package rvkernel is the RISC-V port of the TickTock kernel: the same
+// granular MPU abstraction (internal/core over the PMP driver), the same
+// TBF loader and syscall classes, running applications on the RV32
+// machine model for all three supported chips. It plays the role of the
+// paper's QEMU runs in §6.1: demonstrating that every release application
+// runs to completion on the RISC-V targets.
+//
+// The port underlines the paper's reuse claim: the process allocator,
+// break accounting and isolation invariants are the *same generic code*
+// as the ARM kernel's; only the trap glue and the machine model differ.
+package rvkernel
+
+import (
+	"fmt"
+
+	"ticktock/internal/core"
+	"ticktock/internal/cycles"
+	"ticktock/internal/mpu"
+	"ticktock/internal/physmem"
+	"ticktock/internal/riscv"
+	"ticktock/internal/rv32"
+	"ticktock/internal/tbf"
+)
+
+// Memory map of the simulated RISC-V board (HiFive1-like).
+const (
+	FlashBase = 0x2000_0000
+	FlashSize = 0x0010_0000
+
+	RAMBase = 0x8000_0000
+	RAMSize = 0x0004_0000
+
+	AppFlashBase = 0x2004_0000
+
+	KernelLowRAMSize = 0x1000
+	KernelRAMSize    = 0x1_0000
+
+	ProcessPoolBase = RAMBase + KernelLowRAMSize
+	ProcessPoolSize = RAMSize - KernelRAMSize - KernelLowRAMSize
+
+	// KernelDataBase is a kernel-owned victim address for isolation
+	// tests.
+	KernelDataBase = RAMBase + RAMSize - KernelRAMSize
+)
+
+// Syscall classes, carried in a7 (our RISC-V dialect of the Tock ABI;
+// args in a0..a3, return value in a0).
+const (
+	SVCYield   = 0
+	SVCCommand = 1
+	SVCAllowRW = 2
+	SVCAllowRO = 3
+	SVCMemop   = 4
+	SVCExit    = 5
+)
+
+// Driver and memop numbers shared with the ARM kernel's dialect.
+const (
+	DriverConsole = 0
+	DriverAlarm   = 1
+	DriverTemp    = 2
+	DriverLED     = 3
+	DriverGrant   = 4
+
+	MemopBrk         = 0
+	MemopSbrk        = 1
+	MemopMemoryStart = 2
+	MemopAppBreak    = 3
+
+	RetSuccess = 0
+	RetInvalid = 0xFFFF_FFFE
+	RetNoMem   = 0xFFFF_FFFD
+)
+
+// State is a process lifecycle state.
+type State uint8
+
+// Process states.
+const (
+	StateReady State = iota
+	StateYielded
+	StateExited
+	StateFaulted
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	return [...]string{"ready", "yielded", "exited", "faulted"}[s]
+}
+
+// App describes a RISC-V application.
+type App struct {
+	Name       string
+	MinRAM     uint32
+	InitRAM    uint32
+	Stack      uint32
+	KernelHint uint32
+	Build      func(codeBase uint32) *rv32.Program
+}
+
+// Process is the kernel's per-process record.
+type Process struct {
+	ID    int
+	Name  string
+	State State
+	Alloc *core.AppMemoryAllocator[core.PMPRegion]
+	Entry uint32
+
+	// Saved user context: all integer registers plus the pc.
+	Regs [32]uint32
+	PC   uint32
+
+	WakeAt      uint64
+	ExitCode    uint32
+	FaultReason string
+	Grants      []uint32
+
+	// AllowedRO/AllowedRW are the per-driver shared buffers.
+	AllowedRO map[uint32][2]uint32 // driver -> {addr, len}
+	AllowedRW map[uint32][2]uint32
+}
+
+// Alive reports whether the process can run again.
+func (p *Process) Alive() bool { return p.State == StateReady || p.State == StateYielded }
+
+// Kernel is the RISC-V kernel instance.
+type Kernel struct {
+	Machine *rv32.Machine
+	Chip    riscv.ChipConfig
+	Procs   []*Process
+
+	Timeslice  uint64
+	poolCursor uint32
+	nextFlash  uint32
+	switches   uint64
+	output     map[int][]byte
+	LEDs       [4]bool
+}
+
+// New boots a RISC-V kernel on the given chip.
+func New(chip riscv.ChipConfig) (*Kernel, error) {
+	mem := physmem.NewMemory()
+	if _, err := mem.Map("flash", FlashBase, FlashSize); err != nil {
+		return nil, err
+	}
+	if _, err := mem.Map("ram", RAMBase, RAMSize); err != nil {
+		return nil, err
+	}
+	return &Kernel{
+		Machine:    rv32.NewMachine(mem, chip),
+		Chip:       chip,
+		Timeslice:  10000,
+		poolCursor: ProcessPoolBase,
+		nextFlash:  AppFlashBase,
+		output:     make(map[int][]byte),
+	}, nil
+}
+
+// Output returns a process's console output.
+func (k *Kernel) Output(p *Process) string { return string(k.output[p.ID]) }
+
+func (k *Kernel) appendOutput(p *Process, s string) {
+	k.output[p.ID] = append(k.output[p.ID], s...)
+}
+
+// allocFlashSlot reserves a 4-byte aligned flash slot (the PMP has no
+// power-of-two constraint in TOR mode; NAPOT chips get pow2 slots).
+func (k *Kernel) allocFlashSlot(need uint32) (uint32, uint32, error) {
+	size := need
+	var base uint32
+	if k.Chip.TORSupported {
+		size = (size + 3) &^ 3
+		base = (k.nextFlash + 3) &^ 3
+	} else {
+		size = 8
+		for size < need {
+			size <<= 1
+		}
+		base = (k.nextFlash + size - 1) &^ (size - 1)
+	}
+	if uint64(base)+uint64(size) > FlashBase+FlashSize {
+		return 0, 0, fmt.Errorf("rvkernel: flash exhausted")
+	}
+	k.nextFlash = base + size
+	return base, size, nil
+}
+
+// LoadProcess loads an application: TBF header in flash, program mapped,
+// memory allocated through the generic granular allocator over the PMP
+// driver.
+func (k *Kernel) LoadProcess(app App) (*Process, error) {
+	probe := app.Build(0)
+	imageSize := uint32(tbf.HeaderSize) + uint32(4*len(probe.Instrs))
+	slotBase, slotSize, err := k.allocFlashSlot(imageSize)
+	if err != nil {
+		return nil, err
+	}
+	hdr := &tbf.Header{
+		TotalSize:   slotSize,
+		EntryOffset: tbf.HeaderSize,
+		MinRAMSize:  app.MinRAM,
+		InitRAMSize: app.InitRAM,
+		StackSize:   app.Stack,
+		KernelHint:  app.KernelHint,
+		Name:        app.Name,
+	}
+	raw, err := hdr.Encode()
+	if err != nil {
+		return nil, err
+	}
+	if err := k.Machine.Mem.WriteBytes(slotBase, raw); err != nil {
+		return nil, err
+	}
+	parsed, err := tbf.Parse(raw)
+	if err != nil {
+		return nil, err
+	}
+
+	codeBase := slotBase + parsed.EntryOffset
+	if err := k.Machine.LoadProgram(app.Build(codeBase)); err != nil {
+		return nil, err
+	}
+
+	drv := core.NewPMPMPU(k.Machine.PMP)
+	drv.Meter = k.Machine.Meter
+	alloc := core.NewAllocator[core.PMPRegion](drv, core.Config{Meter: k.Machine.Meter})
+	poolLeft := ProcessPoolBase + ProcessPoolSize - k.poolCursor
+	if err := alloc.AllocateAppMemory(k.poolCursor, poolLeft,
+		parsed.MinRAMSize, parsed.InitRAMSize, parsed.KernelHint, slotBase, slotSize); err != nil {
+		return nil, fmt.Errorf("rvkernel: loading %s: %w", app.Name, err)
+	}
+	b := alloc.Breaks()
+	k.poolCursor = (b.MemoryEnd() + 7) &^ 7
+
+	p := &Process{
+		ID:        len(k.Procs),
+		Name:      parsed.Name,
+		State:     StateReady,
+		Alloc:     alloc,
+		Entry:     codeBase,
+		AllowedRO: make(map[uint32][2]uint32),
+		AllowedRW: make(map[uint32][2]uint32),
+	}
+	// Initial user context: sp at the stack top, app arguments in a0-a3
+	// as the ARM port passes them in r0-r3.
+	stackTop := b.MemoryStart() + parsed.StackSize
+	if parsed.StackSize == 0 || stackTop > b.AppBreak() {
+		stackTop = b.AppBreak()
+	}
+	p.Regs[rv32.SP] = stackTop &^ 7
+	p.Regs[rv32.A0] = b.MemoryStart()
+	p.Regs[rv32.A1] = b.AppBreak()
+	p.Regs[rv32.A2] = b.MemoryEnd()
+	p.Regs[rv32.A3] = b.FlashStart()
+	p.PC = codeBase
+	k.Procs = append(k.Procs, p)
+	return p, nil
+}
+
+// schedule picks the next runnable process round-robin.
+func (k *Kernel) schedule() *Process {
+	if len(k.Procs) == 0 {
+		return nil
+	}
+	now := k.Machine.Meter.Cycles()
+	start := int(k.switches) % len(k.Procs)
+	for i := 0; i < len(k.Procs); i++ {
+		p := k.Procs[(start+i)%len(k.Procs)]
+		switch p.State {
+		case StateReady:
+			return p
+		case StateYielded:
+			if p.WakeAt != 0 && now >= p.WakeAt {
+				p.State = StateReady
+				p.WakeAt = 0
+				return p
+			}
+		}
+	}
+	return nil
+}
+
+// RunOnce runs one scheduling quantum.
+func (k *Kernel) RunOnce() (bool, error) {
+	p := k.schedule()
+	if p == nil {
+		var earliest uint64
+		for _, q := range k.Procs {
+			if q.State == StateYielded && q.WakeAt != 0 && (earliest == 0 || q.WakeAt < earliest) {
+				earliest = q.WakeAt
+			}
+		}
+		if earliest == 0 {
+			return false, nil
+		}
+		if now := k.Machine.Meter.Cycles(); earliest > now {
+			k.Machine.Meter.Add(earliest - now)
+		}
+		return true, nil
+	}
+
+	// Context switch in: program the PMP, restore registers, drop to
+	// user mode at the saved pc.
+	if err := p.Alloc.ConfigureMPU(); err != nil {
+		return false, err
+	}
+	m := k.Machine
+	m.X = p.Regs
+	m.Timer.Arm(k.Timeslice)
+	m.ResumeUser(p.PC)
+
+	stop, err := m.Run(0)
+	if err != nil {
+		return false, err
+	}
+	k.switches++
+
+	// Context switch out: save registers (no hardware stacking on
+	// RISC-V — the kernel does it, as Tock's trap handler does).
+	p.Regs = m.X
+	p.PC = m.CSR.MEPC
+	m.Timer.Disarm()
+
+	switch stop.Reason {
+	case rv32.StopTimer:
+		// Resume at the interrupted pc next time.
+	case rv32.StopEcall:
+		p.PC = m.CSR.MEPC + 4 // resume past the ecall
+		k.handleSyscall(p)
+	case rv32.StopFault:
+		p.State = StateFaulted
+		p.FaultReason = fmt.Sprint(stop.Fault)
+		k.appendOutput(p, fmt.Sprintf("panic: process %s faulted: %v\n", p.Name, stop.Fault))
+		b := p.Alloc.Breaks()
+		k.appendOutput(p, fmt.Sprintf("layout: %s\n", b.String()))
+	case rv32.StopWFI:
+		p.State = StateExited
+	default:
+		return false, fmt.Errorf("rvkernel: unexpected stop %v", stop.Reason)
+	}
+	return true, nil
+}
+
+// Run drives the scheduler for at most maxQuanta quanta.
+func (k *Kernel) Run(maxQuanta int) (int, error) {
+	for q := 0; q < maxQuanta; q++ {
+		alive := false
+		for _, p := range k.Procs {
+			if p.Alive() {
+				alive = true
+				break
+			}
+		}
+		if !alive {
+			return q, nil
+		}
+		ran, err := k.RunOnce()
+		if err != nil {
+			return q, err
+		}
+		if !ran {
+			return q, nil
+		}
+	}
+	return maxQuanta, nil
+}
+
+// handleSyscall dispatches an ecall: class in a7, args a0..a3, return a0.
+func (k *Kernel) handleSyscall(p *Process) {
+	class := p.Regs[rv32.A7]
+	a0, a1, a2 := p.Regs[rv32.A0], p.Regs[rv32.A1], p.Regs[rv32.A2]
+	var ret uint32 = RetSuccess
+
+	switch class {
+	case SVCYield:
+		if p.WakeAt != 0 && p.WakeAt > k.Machine.Meter.Cycles() {
+			p.State = StateYielded
+		}
+	case SVCCommand:
+		ret = k.command(p, a0, a1, a2)
+	case SVCAllowRO, SVCAllowRW:
+		kind := mpu.AccessRead
+		table := p.AllowedRO
+		if class == SVCAllowRW {
+			kind = mpu.AccessWrite
+			table = p.AllowedRW
+		}
+		switch {
+		case a2 == 0:
+			delete(table, a0)
+		case !p.Alloc.UserCanAccess(a1, a2, kind):
+			ret = RetInvalid
+		default:
+			table[a0] = [2]uint32{a1, a2}
+		}
+	case SVCMemop:
+		ret = k.memop(p, a0, a1)
+	case SVCExit:
+		p.State = StateExited
+		p.ExitCode = a0
+		return
+	default:
+		ret = RetInvalid
+	}
+	p.Regs[rv32.A0] = ret
+}
+
+// memop mirrors the ARM kernel's memop dialect.
+func (k *Kernel) memop(p *Process, op, arg uint32) uint32 {
+	b := p.Alloc.Breaks()
+	switch op {
+	case MemopBrk:
+		if err := p.Alloc.Brk(arg); err != nil {
+			return RetInvalid
+		}
+		return RetSuccess
+	case MemopSbrk:
+		nb, err := p.Alloc.Sbrk(int32(arg))
+		if err != nil {
+			return RetInvalid
+		}
+		return nb
+	case MemopMemoryStart:
+		return b.MemoryStart()
+	case MemopAppBreak:
+		return b.AppBreak()
+	default:
+		return RetInvalid
+	}
+}
+
+// command hosts the same driver set as the ARM kernel.
+func (k *Kernel) command(p *Process, driver, cmd, arg2 uint32) uint32 {
+	switch driver {
+	case DriverConsole:
+		switch cmd {
+		case 0:
+			k.appendOutput(p, string(rune(arg2&0x7F)))
+			k.Machine.Meter.Add(cycles.MMIO)
+			return RetSuccess
+		case 1:
+			buf, ok := p.AllowedRO[DriverConsole]
+			if !ok {
+				return RetInvalid
+			}
+			n := min(arg2, buf[1])
+			data, err := k.Machine.Mem.ReadBytes(buf[0], n)
+			if err != nil {
+				return RetInvalid
+			}
+			k.Machine.Meter.Add(uint64(n) * cycles.Load)
+			k.appendOutput(p, string(data))
+			return n
+		}
+		return RetInvalid
+	case DriverAlarm:
+		switch cmd {
+		case 0:
+			return uint32(k.Machine.Meter.Cycles() >> 6)
+		case 1:
+			p.WakeAt = k.Machine.Meter.Cycles() + uint64(arg2)
+			return RetSuccess
+		}
+		return RetInvalid
+	case DriverTemp:
+		if cmd == 0 {
+			return 2200 + uint32(k.Machine.Meter.Cycles()%997)
+		}
+		return RetInvalid
+	case DriverLED:
+		if int(arg2) >= len(k.LEDs) {
+			return RetInvalid
+		}
+		switch cmd {
+		case 0:
+			k.LEDs[arg2] = !k.LEDs[arg2]
+		case 1:
+			k.LEDs[arg2] = true
+		case 2:
+			k.LEDs[arg2] = false
+		default:
+			return RetInvalid
+		}
+		return RetSuccess
+	case DriverGrant:
+		if cmd != 0 {
+			return RetInvalid
+		}
+		addr, err := p.Alloc.AllocateGrant(arg2)
+		if err != nil {
+			return RetNoMem
+		}
+		p.Grants = append(p.Grants, addr)
+		return RetSuccess
+	default:
+		return RetInvalid
+	}
+}

@@ -1,0 +1,97 @@
+package specs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ticktock/internal/verify"
+)
+
+func TestGranularObligationsHold(t *testing.T) {
+	rep := BuildGranular(QuickScale).Run()
+	for _, f := range rep.Failed() {
+		t.Errorf("%s: %v", f.Spec.Name, f.Violations[0])
+	}
+}
+
+func TestMonolithicFixedObligationsHold(t *testing.T) {
+	rep := BuildMonolithic(QuickScale).Run()
+	for _, f := range rep.Failed() {
+		t.Errorf("%s: %v", f.Spec.Name, f.Violations[0])
+	}
+}
+
+func TestInterruptObligationsHold(t *testing.T) {
+	rep := BuildInterrupts(QuickScale).Run()
+	for _, f := range rep.Failed() {
+		t.Errorf("%s: %v", f.Spec.Name, f.Violations[0])
+	}
+}
+
+func TestGranularSuiteIsFasterThanMonolithic(t *testing.T) {
+	// The Figure 12 shape: the entangled monolithic obligation space
+	// costs far more checker time than the decoupled granular one.
+	g := BuildGranular(QuickScale).Run().Stats()
+	m := BuildMonolithic(QuickScale).Run().Stats()
+	if m.Total <= g.Total {
+		t.Fatalf("monolithic (%v) not slower than granular (%v)", m.Total, g.Total)
+	}
+	t.Logf("granular=%v monolithic=%v ratio=%.1f", g.Total, m.Total, float64(m.Total)/float64(g.Total))
+}
+
+func TestMonolithicDominatedByAllocate(t *testing.T) {
+	rep := BuildMonolithic(QuickScale).Run()
+	slowest := rep.Slowest(1)[0]
+	if !strings.Contains(slowest.Spec.Name, "allocate_app_mem_region") {
+		t.Fatalf("slowest obligation is %s", slowest.Spec.Name)
+	}
+	stats := rep.Stats()
+	if slowest.Elapsed < stats.Total/2 {
+		t.Fatalf("allocate obligation (%v) does not dominate total (%v)", slowest.Elapsed, stats.Total)
+	}
+}
+
+func TestEffortTableShape(t *testing.T) {
+	r := BuildAll(QuickScale)
+	rows := r.Effort()
+	byName := map[string]verify.EffortRow{}
+	for _, row := range rows {
+		byName[row.Component] = row
+	}
+	for _, comp := range []string{CompKernel, CompArmMPU, CompRiscvMPU, CompFluxStd, CompFluxArm, CompMonolithic} {
+		row, ok := byName[comp]
+		if !ok {
+			t.Fatalf("component %s missing from effort table", comp)
+		}
+		if row.Fns == 0 || row.SpecLines == 0 {
+			t.Fatalf("component %s has empty row %+v", comp, row)
+		}
+	}
+	// Trusted functions exist (lemmas, ghost code, out-of-scope).
+	if byName[CompFluxStd].TrustedFns == 0 || byName[CompFluxArm].TrustedFns == 0 {
+		t.Fatal("trusted accounting missing")
+	}
+}
+
+func TestStatsReportFields(t *testing.T) {
+	rep := BuildInterrupts(QuickScale).Run()
+	s := rep.Stats()
+	if s.Fns == 0 || s.Total == 0 || s.Max == 0 || s.Mean == 0 {
+		t.Fatalf("stats=%+v", s)
+	}
+	if s.Max > s.Total || s.Mean > s.Max {
+		t.Fatalf("inconsistent stats=%+v", s)
+	}
+	_ = time.Duration(0)
+}
+
+func TestEndToEndObligationsHold(t *testing.T) {
+	rep := BuildEndToEnd(QuickScale).Run()
+	for _, f := range rep.Failed() {
+		t.Errorf("%s: %v", f.Spec.Name, f.Violations[0])
+	}
+	if len(rep.Results) == 0 {
+		t.Fatal("no end-to-end obligations registered")
+	}
+}

@@ -1,0 +1,38 @@
+package tbf
+
+import "testing"
+
+// FuzzParse: Parse must never panic on arbitrary bytes, and any header it
+// accepts must re-encode to an identical block (canonical form).
+func FuzzParse(f *testing.F) {
+	h := &Header{
+		TotalSize:   4096,
+		EntryOffset: HeaderSize,
+		MinRAMSize:  8192,
+		InitRAMSize: 2048,
+		StackSize:   1024,
+		KernelHint:  512,
+		Name:        "seed",
+	}
+	b, err := h.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(b)
+	f.Add(make([]byte, HeaderSize))
+	f.Add([]byte{0x54, 0x54, 0x43, 0x4B})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parsed, err := Parse(data)
+		if err != nil {
+			return
+		}
+		re, err := parsed.Encode()
+		if err != nil {
+			t.Fatalf("accepted header does not re-encode: %v", err)
+		}
+		back, err := Parse(re)
+		if err != nil || *back != *parsed {
+			t.Fatalf("canonical roundtrip broken: %v", err)
+		}
+	})
+}

@@ -1,0 +1,139 @@
+// Package tbf implements a compact dialect of the Tock Binary Format: the
+// header that prefixes every application image in flash and tells the
+// kernel's process loader where the code starts and how much RAM the app
+// needs. The layout is little-endian, checksummed, and versioned, like
+// upstream TBF; fields not needed by the simulated loader are omitted.
+package tbf
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Magic identifies a TBF-Go header ("TTCK").
+const Magic = 0x4B435454
+
+// Version is the current header version.
+const Version = 2
+
+// HeaderSize is the fixed encoded size in bytes.
+const HeaderSize = 64
+
+// maxNameLen is the space reserved for the process name.
+const maxNameLen = 24
+
+// Header describes one application image.
+type Header struct {
+	// TotalSize is the full image size in flash (header + code + data),
+	// which the loader also uses as the protected flash span.
+	TotalSize uint32
+	// EntryOffset is the offset of the entry point from the image base.
+	EntryOffset uint32
+	// MinRAMSize is the total RAM the process declares it needs
+	// (stack + data + heap growth + grant room).
+	MinRAMSize uint32
+	// InitRAMSize is the initially-accessible portion (stack + data +
+	// initial heap).
+	InitRAMSize uint32
+	// StackSize is how much of the initial RAM is stack.
+	StackSize uint32
+	// KernelHint is the grant-region size hint.
+	KernelHint uint32
+	// Name is the process name (at most 23 bytes).
+	Name string
+}
+
+// Errors returned by Parse.
+var (
+	ErrBadMagic    = errors.New("tbf: bad magic")
+	ErrBadVersion  = errors.New("tbf: unsupported version")
+	ErrBadChecksum = errors.New("tbf: checksum mismatch")
+	ErrTruncated   = errors.New("tbf: truncated header")
+)
+
+// checksum XORs the header words, excluding the checksum word itself —
+// the same scheme upstream TBF uses.
+func checksum(b []byte) uint32 {
+	var c uint32
+	for i := 0; i+4 <= HeaderSize; i += 4 {
+		if i == 36 { // checksum slot
+			continue
+		}
+		c ^= binary.LittleEndian.Uint32(b[i:])
+	}
+	return c
+}
+
+// Encode serializes the header into a HeaderSize-byte block.
+func (h *Header) Encode() ([]byte, error) {
+	if len(h.Name) >= maxNameLen {
+		return nil, fmt.Errorf("tbf: name %q too long (max %d)", h.Name, maxNameLen-1)
+	}
+	if h.TotalSize < HeaderSize {
+		return nil, fmt.Errorf("tbf: total size %d smaller than header", h.TotalSize)
+	}
+	if h.EntryOffset < HeaderSize || h.EntryOffset >= h.TotalSize {
+		return nil, fmt.Errorf("tbf: entry offset 0x%x outside image", h.EntryOffset)
+	}
+	if h.InitRAMSize > h.MinRAMSize {
+		return nil, fmt.Errorf("tbf: initial RAM %d exceeds declared minimum %d", h.InitRAMSize, h.MinRAMSize)
+	}
+	if h.StackSize > h.InitRAMSize {
+		return nil, fmt.Errorf("tbf: stack %d exceeds initial RAM %d", h.StackSize, h.InitRAMSize)
+	}
+	b := make([]byte, HeaderSize)
+	le := binary.LittleEndian
+	le.PutUint32(b[0:], Magic)
+	le.PutUint16(b[4:], Version)
+	le.PutUint16(b[6:], HeaderSize)
+	le.PutUint32(b[8:], h.TotalSize)
+	le.PutUint32(b[12:], h.EntryOffset)
+	le.PutUint32(b[16:], h.MinRAMSize)
+	le.PutUint32(b[20:], h.InitRAMSize)
+	le.PutUint32(b[24:], h.StackSize)
+	le.PutUint32(b[28:], h.KernelHint)
+	// b[32:36] reserved.
+	copy(b[40:], h.Name)
+	le.PutUint32(b[36:], checksum(b))
+	return b, nil
+}
+
+// Parse decodes and validates a header from the start of b.
+func Parse(b []byte) (*Header, error) {
+	if len(b) < HeaderSize {
+		return nil, ErrTruncated
+	}
+	le := binary.LittleEndian
+	if le.Uint32(b[0:]) != Magic {
+		return nil, ErrBadMagic
+	}
+	if le.Uint16(b[4:]) != Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, le.Uint16(b[4:]))
+	}
+	if le.Uint32(b[36:]) != checksum(b[:HeaderSize]) {
+		return nil, ErrBadChecksum
+	}
+	h := &Header{
+		TotalSize:   le.Uint32(b[8:]),
+		EntryOffset: le.Uint32(b[12:]),
+		MinRAMSize:  le.Uint32(b[16:]),
+		InitRAMSize: le.Uint32(b[20:]),
+		StackSize:   le.Uint32(b[24:]),
+		KernelHint:  le.Uint32(b[28:]),
+	}
+	name := b[40 : 40+maxNameLen]
+	for i, c := range name {
+		if c == 0 {
+			h.Name = string(name[:i])
+			break
+		}
+	}
+	if h.TotalSize < HeaderSize || h.EntryOffset < HeaderSize || h.EntryOffset >= h.TotalSize {
+		return nil, fmt.Errorf("tbf: inconsistent geometry: total=%d entry=0x%x", h.TotalSize, h.EntryOffset)
+	}
+	if h.InitRAMSize > h.MinRAMSize || h.StackSize > h.InitRAMSize {
+		return nil, fmt.Errorf("tbf: inconsistent RAM sizes: min=%d init=%d stack=%d", h.MinRAMSize, h.InitRAMSize, h.StackSize)
+	}
+	return h, nil
+}

@@ -1,0 +1,130 @@
+package tbf
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func validHeader() *Header {
+	return &Header{
+		TotalSize:   4096,
+		EntryOffset: HeaderSize,
+		MinRAMSize:  8192,
+		InitRAMSize: 2048,
+		StackSize:   1024,
+		KernelHint:  1024,
+		Name:        "blink",
+	}
+}
+
+func TestEncodeParseRoundTrip(t *testing.T) {
+	h := validHeader()
+	b, err := h.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != HeaderSize {
+		t.Fatalf("encoded size %d", len(b))
+	}
+	got, err := Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *h {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", got, h)
+	}
+}
+
+func TestParseRejectsCorruption(t *testing.T) {
+	h := validHeader()
+	b, err := h.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Magic.
+	bad := append([]byte(nil), b...)
+	bad[0] ^= 0xFF
+	if _, err := Parse(bad); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("magic: %v", err)
+	}
+	// Version.
+	bad = append([]byte(nil), b...)
+	bad[4] = 99
+	if _, err := Parse(bad); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("version: %v", err)
+	}
+	// Any payload flip breaks the checksum.
+	bad = append([]byte(nil), b...)
+	bad[9] ^= 0x01
+	if _, err := Parse(bad); !errors.Is(err, ErrBadChecksum) {
+		t.Fatalf("checksum: %v", err)
+	}
+	// Truncation.
+	if _, err := Parse(b[:HeaderSize-1]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated: %v", err)
+	}
+}
+
+func TestEncodeValidatesGeometry(t *testing.T) {
+	h := validHeader()
+	h.EntryOffset = 8 // inside the header
+	if _, err := h.Encode(); err == nil {
+		t.Fatal("entry inside header accepted")
+	}
+	h = validHeader()
+	h.InitRAMSize = h.MinRAMSize + 1
+	if _, err := h.Encode(); err == nil {
+		t.Fatal("init > min accepted")
+	}
+	h = validHeader()
+	h.StackSize = h.InitRAMSize + 1
+	if _, err := h.Encode(); err == nil {
+		t.Fatal("stack > init accepted")
+	}
+	h = validHeader()
+	h.Name = "a-name-that-is-far-too-long-for-the-field"
+	if _, err := h.Encode(); err == nil {
+		t.Fatal("oversized name accepted")
+	}
+	h = validHeader()
+	h.TotalSize = 8
+	if _, err := h.Encode(); err == nil {
+		t.Fatal("total < header accepted")
+	}
+}
+
+// Property: every header that encodes successfully parses back equal, and
+// every single-byte corruption of the first 36 payload bytes is rejected.
+func TestHeaderRoundTripProperty(t *testing.T) {
+	f := func(total, entry, minRAM, initRAM, stack, hint uint32, nameSeed uint8) bool {
+		h := &Header{
+			TotalSize:   total%100000 + HeaderSize,
+			EntryOffset: HeaderSize + entry%64,
+			MinRAMSize:  minRAM % 100000,
+			InitRAMSize: initRAM % 100000,
+			StackSize:   stack % 100000,
+			KernelHint:  hint % 100000,
+			Name:        string(rune('a' + nameSeed%26)),
+		}
+		b, err := h.Encode()
+		if err != nil {
+			return true // invalid geometry is allowed to fail
+		}
+		got, err := Parse(b)
+		if err != nil || *got != *h {
+			return false
+		}
+		for i := 0; i < 36; i++ {
+			bad := append([]byte(nil), b...)
+			bad[i] ^= 0x55
+			if _, err := Parse(bad); err == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+package verify
+
+import "fmt"
+
+// ContractError is returned by production code when a runtime-checked
+// precondition or invariant fails. In the paper these states are
+// unrepresentable (Flux rejects the program); here they fail closed with a
+// descriptive error so the kernel can fault the offending process instead
+// of breaking isolation.
+type ContractError struct {
+	Site   string
+	Clause string
+	Detail string
+}
+
+// Error implements the error interface.
+func (e *ContractError) Error() string {
+	return fmt.Sprintf("contract: %s: %s (%s)", e.Site, e.Clause, e.Detail)
+}
+
+// Require returns a ContractError unless ok. Production code uses it for
+// preconditions at trust boundaries (e.g. syscall argument validation).
+func Require(ok bool, site, clause, format string, args ...any) error {
+	if ok {
+		return nil
+	}
+	return &ContractError{Site: site, Clause: clause, Detail: fmt.Sprintf(format, args...)}
+}
+
+// MustHold panics unless ok. Reserved for invariants that checked
+// construction paths make unreachable: a panic here is a verifier-caught
+// bug escaping to runtime, the Go analogue of a refinement type error.
+func MustHold(ok bool, site, clause string) {
+	if !ok {
+		panic(&ContractError{Site: site, Clause: clause, Detail: "invariant broken"})
+	}
+}
+
+// --- bounded enumeration domains ---
+
+// Range returns lo, lo+step, ... up to and including hi.
+func Range(lo, hi, step uint32) []uint32 {
+	if step == 0 {
+		panic("verify: zero step")
+	}
+	var out []uint32
+	for v := uint64(lo); v <= uint64(hi); v += uint64(step) {
+		out = append(out, uint32(v))
+	}
+	return out
+}
+
+// PowersOfTwo returns the powers of two in [lo, hi].
+func PowersOfTwo(lo, hi uint32) []uint32 {
+	var out []uint32
+	for v := uint64(1); v <= uint64(hi); v <<= 1 {
+		if v >= uint64(lo) {
+			out = append(out, uint32(v))
+		}
+	}
+	return out
+}
+
+// IsPow2 reports whether n is a positive power of two — the classic
+// bithack from the paper's is_pow2 refinement.
+func IsPow2(n uint32) bool { return n > 0 && n&(n-1) == 0 }
+
+// AlignUp rounds v up to the next multiple of align (a power of two). It
+// is the shared helper whose overflow-freedom lemma_align_up covers.
+func AlignUp(v, align uint32) uint32 {
+	if align == 0 || !IsPow2(align) {
+		panic("verify: AlignUp alignment must be a power of two")
+	}
+	return (v + align - 1) &^ (align - 1)
+}
+
+// ClosestPowerOfTwo returns the smallest power of two >= n (Tock's
+// math::closest_power_of_two). n must be <= 1<<31.
+func ClosestPowerOfTwo(n uint32) uint32 {
+	if n == 0 {
+		return 1
+	}
+	if n > 1<<31 {
+		panic("verify: ClosestPowerOfTwo overflow")
+	}
+	v := uint32(1)
+	for v < n {
+		v <<= 1
+	}
+	return v
+}
+
+// --- trusted lemmas ---
+//
+// The paper proves facts about bit-operations and modular arithmetic in
+// Lean because SMT solvers hang on them (§5). The equivalents here are
+// plain Go functions whose exhaustive proofs live in lemma_test.go; the
+// kernel "calls" them only in the sense that its correctness argument
+// relies on them, so keeping them executable keeps the trust base honest.
+
+// LemmaPow2Octet: every power of two >= 8 is divisible by 8.
+func LemmaPow2Octet(r uint32) bool {
+	if !IsPow2(r) || r < 8 {
+		return true // vacuous
+	}
+	return r%8 == 0
+}
+
+// LemmaAlignUpBounds: for power-of-two align, AlignUp(v, align) is the
+// least multiple of align that is >= v, and it exceeds v by < align.
+func LemmaAlignUpBounds(v, align uint32) bool {
+	if !IsPow2(align) || uint64(v)+uint64(align) > 1<<32 {
+		return true // vacuous
+	}
+	a := AlignUp(v, align)
+	return a >= v && a%align == 0 && uint64(a) < uint64(v)+uint64(align)
+}
+
+// LemmaSubregionCover: for region size a multiple of 8, k enabled
+// subregions of size size/8 cover exactly k*size/8 bytes.
+func LemmaSubregionCover(size uint32, k uint32) bool {
+	if size%8 != 0 || k > 8 {
+		return true
+	}
+	return k*(size/8) == k*size/8
+}

@@ -1,0 +1,340 @@
+// Package verify is the Flux stand-in for TickTock-Go: a contract and
+// invariant framework plus a bounded exhaustive checker.
+//
+// Flux proves refinement-typed contracts for all inputs using an SMT
+// solver. Offline, in Go, we discharge the same ∀-obligations by exhaustive
+// enumeration over bounded domains: every contract is checked against every
+// combination of a scaled-down parameter space (all alignments, sizes and
+// break placements that fit a small address window). Each registered Spec
+// corresponds to one function-level proof obligation, mirroring Flux's
+// modular, per-function checking — which is also what makes the paper's
+// Figure 12 (per-function verification times) reproducible.
+//
+// The package provides three layers:
+//
+//   - Contract primitives (Requires, Ensures, Invariant violations) that
+//     production code uses to fail closed at runtime,
+//   - the Spec registry, recording every proof obligation with its
+//     component and annotation size (feeding the Figure 10 table),
+//   - the Checker, which runs specs, collects violations, and times each
+//     obligation (feeding the Figure 12 table).
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Violation records a failed proof obligation: the function (spec) it
+// belongs to, the clause that failed, and a human-readable counterexample.
+type Violation struct {
+	Spec   string
+	Clause string
+	Detail string
+}
+
+// Error implements the error interface.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("verify: %s: %s violated: %s", v.Spec, v.Clause, v.Detail)
+}
+
+// T is the checking context passed to a Spec body. It collects violations
+// rather than stopping at the first, so a check run reports every
+// counterexample domain point (capped to keep reports readable).
+type T struct {
+	spec       string
+	violations []*Violation
+	// MaxViolations caps recorded counterexamples per spec.
+	MaxViolations int
+	stopped       bool
+}
+
+// Failf records a violation of the named clause.
+func (t *T) Failf(clause, format string, args ...any) {
+	if t.stopped {
+		return
+	}
+	t.violations = append(t.violations, &Violation{
+		Spec:   t.spec,
+		Clause: clause,
+		Detail: fmt.Sprintf(format, args...),
+	})
+	if t.MaxViolations > 0 && len(t.violations) >= t.MaxViolations {
+		t.stopped = true
+	}
+}
+
+// Assert checks a postcondition/invariant clause.
+func (t *T) Assert(ok bool, clause, format string, args ...any) {
+	if !ok {
+		t.Failf(clause, format, args...)
+	}
+}
+
+// Stopped reports whether the violation cap was hit; spec bodies may use
+// it to abandon expensive enumeration early.
+func (t *T) Stopped() bool { return t.stopped }
+
+// Violations returns the recorded counterexamples.
+func (t *T) Violations() []*Violation { return t.violations }
+
+// TrustKind classifies why a spec is trusted (unverified), mirroring the
+// paper's accounting of #[trusted] functions in §5.
+type TrustKind uint8
+
+// Trust categories from Figure 10's discussion.
+const (
+	// Checked means the spec body actually verifies the obligation.
+	Checked TrustKind = iota
+	// TrustedLemma is a fact proven outside the checker (the paper
+	// proves these in Lean; we prove them in Go unit tests).
+	TrustedLemma
+	// TrustedGhost is proof-only plumbing.
+	TrustedGhost
+	// TrustedOutOfScope is deliberately unverified (e.g. fault
+	// formatting).
+	TrustedOutOfScope
+)
+
+// Spec is one proof obligation: a named, component-scoped check body.
+type Spec struct {
+	// Component groups specs for the Figure 10 table: "kernel",
+	// "arm-mpu", "riscv-mpu", "flux-std", "fluxarm".
+	Component string
+	// Name identifies the verified function, e.g.
+	// "granular/allocate_app_memory/cortex-m".
+	Name string
+	// SpecLines approximates the annotation burden (lines of contract)
+	// the obligation would cost in Flux.
+	SpecLines int
+	// Trust classifies the obligation.
+	Trust TrustKind
+	// Body runs the bounded check. Nil for trusted specs.
+	Body func(t *T)
+}
+
+// Registry holds a set of proof obligations.
+type Registry struct {
+	specs []*Spec
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Add registers a spec. Duplicate names are rejected by panic: obligations
+// are statically known, so a duplicate is a programming error.
+func (r *Registry) Add(s *Spec) {
+	for _, q := range r.specs {
+		if q.Name == s.Name {
+			panic("verify: duplicate spec " + s.Name)
+		}
+	}
+	if s.Trust == Checked && s.Body == nil {
+		panic("verify: checked spec without body: " + s.Name)
+	}
+	r.specs = append(r.specs, s)
+}
+
+// Specs returns all registered specs.
+func (r *Registry) Specs() []*Spec { return r.specs }
+
+// Components returns the distinct component names in registration order.
+func (r *Registry) Components() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range r.specs {
+		if !seen[s.Component] {
+			seen[s.Component] = true
+			out = append(out, s.Component)
+		}
+	}
+	return out
+}
+
+// Result is the outcome of checking one spec.
+type Result struct {
+	Spec       *Spec
+	Elapsed    time.Duration
+	Violations []*Violation
+}
+
+// OK reports whether the obligation held.
+func (r *Result) OK() bool { return len(r.Violations) == 0 }
+
+// Run checks every spec in the registry (trusted specs pass vacuously but
+// still appear in the report, as they do in the paper's tables).
+func (r *Registry) Run() *Report {
+	rep := &Report{}
+	for _, s := range r.specs {
+		res := &Result{Spec: s}
+		if s.Body != nil {
+			t := &T{spec: s.Name, MaxViolations: 10}
+			start := time.Now()
+			s.Body(t)
+			res.Elapsed = time.Since(start)
+			res.Violations = t.Violations()
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep
+}
+
+// RunComponent checks only the specs of one component.
+func (r *Registry) RunComponent(component string) *Report {
+	sub := NewRegistry()
+	for _, s := range r.specs {
+		if s.Component == component {
+			sub.specs = append(sub.specs, s)
+		}
+	}
+	return sub.Run()
+}
+
+// Report aggregates check results and computes the Figure 12 statistics.
+type Report struct {
+	Results []*Result
+}
+
+// Failed returns the results with violations.
+func (rep *Report) Failed() []*Result {
+	var out []*Result
+	for _, r := range rep.Results {
+		if !r.OK() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// OK reports whether every obligation held.
+func (rep *Report) OK() bool { return len(rep.Failed()) == 0 }
+
+// Stats summarizes per-function check times, the row shape of Figure 12.
+type Stats struct {
+	Fns    int
+	Total  time.Duration
+	Max    time.Duration
+	Mean   time.Duration
+	StdDev time.Duration
+}
+
+// Stats computes timing statistics across all results.
+func (rep *Report) Stats() Stats {
+	var s Stats
+	s.Fns = len(rep.Results)
+	if s.Fns == 0 {
+		return s
+	}
+	for _, r := range rep.Results {
+		s.Total += r.Elapsed
+		if r.Elapsed > s.Max {
+			s.Max = r.Elapsed
+		}
+	}
+	s.Mean = s.Total / time.Duration(s.Fns)
+	var varSum float64
+	for _, r := range rep.Results {
+		d := float64(r.Elapsed - s.Mean)
+		varSum += d * d
+	}
+	s.StdDev = time.Duration(sqrt(varSum / float64(s.Fns)))
+	return s
+}
+
+// sqrt avoids importing math for one call... actually math is stdlib; but
+// an integer Newton iteration keeps Duration precision explicit.
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+// Slowest returns the n slowest results, for "over 90% of the time was
+// spent checking allocate_app_mem_region"-style diagnostics.
+func (rep *Report) Slowest(n int) []*Result {
+	out := append([]*Result(nil), rep.Results...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Elapsed > out[j].Elapsed })
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// EffortRow is one row of the Figure 10 proof-effort table.
+type EffortRow struct {
+	Component    string
+	Fns          int
+	TrustedFns   int
+	SpecLines    int
+	TrustedSpecs int
+}
+
+// Effort tabulates registered obligations per component (Figure 10).
+func (r *Registry) Effort() []EffortRow {
+	idx := map[string]*EffortRow{}
+	var order []string
+	for _, s := range r.specs {
+		row, ok := idx[s.Component]
+		if !ok {
+			row = &EffortRow{Component: s.Component}
+			idx[s.Component] = row
+			order = append(order, s.Component)
+		}
+		row.Fns++
+		row.SpecLines += s.SpecLines
+		if s.Trust != Checked {
+			row.TrustedFns++
+			row.TrustedSpecs += s.SpecLines
+		}
+	}
+	out := make([]EffortRow, 0, len(order))
+	for _, c := range order {
+		out = append(out, *idx[c])
+	}
+	return out
+}
+
+// RunParallel checks every spec using the given number of worker
+// goroutines, for CI-sized runs where wall-clock matters more than the
+// per-function timing fidelity Figure 12 wants (each obligation is
+// independent, exactly as Flux checks functions modularly). Results keep
+// registration order. workers < 1 means one worker.
+func (r *Registry) RunParallel(workers int) *Report {
+	if workers < 1 {
+		workers = 1
+	}
+	results := make([]*Result, len(r.specs))
+	idx := make(chan int)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range idx {
+				s := r.specs[i]
+				res := &Result{Spec: s}
+				if s.Body != nil {
+					t := &T{spec: s.Name, MaxViolations: 10}
+					start := time.Now()
+					s.Body(t)
+					res.Elapsed = time.Since(start)
+					res.Violations = t.Violations()
+				}
+				results[i] = res
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := range r.specs {
+		idx <- i
+	}
+	close(idx)
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	return &Report{Results: results}
+}

@@ -1,0 +1,98 @@
+package ticktock
+
+import (
+	"testing"
+
+	"ticktock/internal/apps"
+	"ticktock/internal/armv7m"
+)
+
+func TestFacadeBootAndRun(t *testing.T) {
+	k, err := NewKernel(Options{Flavour: FlavourTickTock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := App{
+		Name: "facade", MinRAM: 8192, InitRAM: 2048, Stack: 1024, KernelHint: 512,
+		Build: func(base uint32) *armv7m.Program {
+			a := armv7m.NewAssembler(base)
+			apps.Puts(a, "via facade")
+			apps.Exit(a, 0)
+			return a.MustAssemble()
+		},
+	}
+	p, err := k.LoadProcess(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if k.Output(p) != "via facade" {
+		t.Fatalf("output=%q", k.Output(p))
+	}
+}
+
+func TestFacadeReleaseTests(t *testing.T) {
+	if got := len(ReleaseTests()); got != 21 {
+		t.Fatalf("release tests=%d", got)
+	}
+}
+
+func TestFacadeVerification(t *testing.T) {
+	if rep := VerifyGranular(QuickVerification); !rep.OK() {
+		t.Fatalf("granular obligations failed: %v", rep.Failed()[0].Violations[0])
+	}
+	if rep := VerifyMonolithic(QuickVerification); !rep.OK() {
+		t.Fatalf("monolithic obligations failed: %v", rep.Failed()[0].Violations[0])
+	}
+	if rep := VerifyInterrupts(QuickVerification); !rep.OK() {
+		t.Fatalf("interrupt obligations failed: %v", rep.Failed()[0].Violations[0])
+	}
+}
+
+func TestFacadeProofEffortNonEmpty(t *testing.T) {
+	rows := ProofEffort()
+	if len(rows) < 5 {
+		t.Fatalf("effort rows=%d", len(rows))
+	}
+}
+
+func TestFacadeContextSwitchChecker(t *testing.T) {
+	if errs := CheckContextSwitch(2, false); len(errs) != 0 {
+		t.Fatalf("correct switch flagged: %v", errs[0])
+	}
+	if errs := CheckContextSwitch(2, true); len(errs) == 0 {
+		t.Fatal("buggy switch not flagged")
+	}
+}
+
+func TestFacadeMemoryFootprint(t *testing.T) {
+	rows, err := MemoryFootprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+}
+
+func TestFacadeDifferentialCampaign(t *testing.T) {
+	rows, err := RunDifferentialCampaign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 21 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+}
+
+func TestFacadeCompareCycles(t *testing.T) {
+	rows, err := CompareCycles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+}
