@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: ci fmt vet build test race bench
+
+# ci is the gate the concurrency-touching paths (parallel difftest
+# campaign, goroutine-safe Stats, tracer) must keep green.
+ci: fmt vet build test race
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt -l found unformatted files:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

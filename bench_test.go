@@ -21,6 +21,7 @@ import (
 	"ticktock/internal/kernel"
 	"ticktock/internal/membench"
 	"ticktock/internal/specs"
+	"ticktock/internal/trace"
 )
 
 // fig11 runs the Figure 11 workload once per benchmark iteration for one
@@ -124,12 +125,9 @@ func BenchmarkFig10_ProofEffort(b *testing.B) {
 func BenchmarkDifferentialCampaign(b *testing.B) {
 	var s difftest.Summary
 	for i := 0; i < b.N; i++ {
-		rows, err := difftest.RunAll()
-		if err != nil {
-			b.Fatal(err)
-		}
+		rows := difftest.RunAll()
 		s = difftest.Summarize(rows)
-		if s.Unexpected != 0 {
+		if s.Unexpected != 0 || s.Errored != 0 {
 			b.Fatalf("unexpected diffs: %+v", s)
 		}
 	}
@@ -255,6 +253,50 @@ func spinner() kernel.App {
 			return a.MustAssemble()
 		},
 	}
+}
+
+// BenchmarkAblation_TraceOverhead guards the tracer's zero-simulated-cost
+// guarantee behind the Figure 11/12 numbers: the `create` cycle stats and
+// the per-switch cycle cost must be bit-identical with the tracer
+// attached and detached — tracing observes the meter, never charges it.
+// The reported metric is the (wall-clock-free) simulated-cycle delta,
+// which must stay 0.
+func BenchmarkAblation_TraceOverhead(b *testing.B) {
+	run := func(tr *trace.Tracer) (uint64, float64, uint64) {
+		k, err := kernel.New(kernel.Options{Flavour: kernel.FlavourTickTock, Timeslice: 200, Trace: tr})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := k.LoadProcess(spinner()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := k.Run(50); err != nil {
+			b.Fatal(err)
+		}
+		return k.Meter().Cycles(), k.Stats.Get("create").Mean(), k.Switches
+	}
+	var delta uint64
+	for i := 0; i < b.N; i++ {
+		plainCycles, plainCreate, plainSwitches := run(nil)
+		tr := trace.New(1 << 16)
+		tracedCycles, tracedCreate, tracedSwitches := run(tr)
+		if tr.Emitted() == 0 {
+			b.Fatal("tracer attached but no events emitted")
+		}
+		if plainCreate != tracedCreate || plainSwitches != tracedSwitches {
+			b.Fatalf("tracing changed the workload: create %v->%v, switches %d->%d",
+				plainCreate, tracedCreate, plainSwitches, tracedSwitches)
+		}
+		if tracedCycles > plainCycles {
+			delta = tracedCycles - plainCycles
+		} else {
+			delta = plainCycles - tracedCycles
+		}
+		if delta != 0 {
+			b.Fatalf("tracing cost %d simulated cycles (traced=%d untraced=%d)", delta, tracedCycles, plainCycles)
+		}
+	}
+	b.ReportMetric(float64(delta), "sim-cycle-delta")
 }
 
 // BenchmarkAblation_UpcallDelivery measures the cost of delivering one

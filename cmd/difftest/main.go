@@ -1,11 +1,16 @@
 // Command difftest runs the §6.1 differential-testing campaign: all 21
 // release tests on both kernel flavours, comparing console outputs. It
 // prints the campaign table and exits non-zero if any test's result does
-// not match its expectation (16 identical, 5 legitimately differing).
+// not match its expectation (16 identical, 5 legitimately differing) or
+// any case failed to run.
+//
+// Unexpected mismatches come with a side-by-side kernel event trace of
+// the two flavours (suppress with -notrace). The published baseline bugs
+// can be re-enabled with -bug to watch the campaign catch them.
 //
 // Usage:
 //
-//	difftest [-v]
+//	difftest [-v] [-j N] [-notrace] [-bug grant-overlap|brk-underflow|missed-mode-switch]
 package main
 
 import (
@@ -18,23 +23,36 @@ import (
 
 func main() {
 	verbose := flag.Bool("v", false, "print both outputs for differing tests")
+	workers := flag.Int("j", 0, "worker pool size (0 = GOMAXPROCS)")
+	notrace := flag.Bool("notrace", false, "disable divergence trace dumps")
+	bug := flag.String("bug", "", "re-enable a published baseline bug (grant-overlap, brk-underflow, missed-mode-switch)")
 	flag.Parse()
 
-	rows, err := difftest.RunAll()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "difftest: %v\n", err)
-		os.Exit(1)
+	cfg := difftest.Config{Workers: *workers, NoTraceDump: *notrace}
+	switch *bug {
+	case "":
+	case "grant-overlap":
+		cfg.Bugs.GrantOverlap = true
+	case "brk-underflow":
+		cfg.Bugs.BrkUnderflow = true
+	case "missed-mode-switch":
+		cfg.Bugs.MissedModeSwitch = true
+	default:
+		fmt.Fprintf(os.Stderr, "difftest: unknown -bug %q\n", *bug)
+		os.Exit(2)
 	}
+
+	rows := difftest.RunAllConfig(cfg)
 	fmt.Print(difftest.Table(rows))
-	if *verbose {
-		for _, r := range rows {
-			if r.Equal {
-				continue
-			}
+	for _, r := range rows {
+		if *verbose && !r.Equal && r.Err == nil {
 			fmt.Printf("\n--- %s (ticktock) ---\n%s--- %s (tock) ---\n%s", r.Name, r.TickTock, r.Name, r.Tock)
 		}
+		if r.Divergence != "" {
+			fmt.Printf("\n=== %s divergence trace ===\n%s", r.Name, r.Divergence)
+		}
 	}
-	if s := difftest.Summarize(rows); s.Unexpected > 0 {
+	if s := difftest.Summarize(rows); s.Unexpected > 0 || s.Errored > 0 {
 		os.Exit(1)
 	}
 }

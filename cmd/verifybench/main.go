@@ -58,9 +58,18 @@ func main() {
 		}
 	}
 
-	slow := mono.Slowest(1)[0]
-	frac := float64(slow.Elapsed) / float64(mono.Stats().Total) * 100
-	fmt.Printf("\nslowest monolithic obligation: %s (%.0f%% of suite time)\n", slow.Spec.Name, frac)
+	// An empty registry has no slowest obligation, and a zero total
+	// would turn the fraction into NaN — guard both before indexing
+	// and dividing.
+	if slowest := mono.Slowest(1); len(slowest) > 0 {
+		slow := slowest[0]
+		if total := mono.Stats().Total; total > 0 {
+			frac := float64(slow.Elapsed) / float64(total) * 100
+			fmt.Printf("\nslowest monolithic obligation: %s (%.0f%% of suite time)\n", slow.Spec.Name, frac)
+		} else {
+			fmt.Printf("\nslowest monolithic obligation: %s\n", slow.Spec.Name)
+		}
+	}
 	if bad > 0 {
 		os.Exit(1)
 	}

@@ -9,6 +9,7 @@ package apps
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"ticktock/internal/armv7m"
 	"ticktock/internal/kernel"
@@ -51,16 +52,17 @@ func PutcharReg(a *armv7m.Assembler, rm armv7m.GPR) {
 		Emit(armv7m.SVC{Imm: kernel.SVCCommand})
 }
 
-// hexSeq disambiguates PutHex labels within and across programs.
-var hexSeq int
+// hexSeq disambiguates PutHex labels within and across programs. It is
+// atomic because the parallel campaign builds programs from several
+// goroutines at once.
+var hexSeq atomic.Int64
 
 // PutHex emits code printing rm as 8 hex digits (clobbers r8-r11).
 func PutHex(a *armv7m.Assembler, rm armv7m.GPR) {
 	// r8 = value, r9 = shift counter (28,24,...0)
 	a.Emit(armv7m.MovReg{Rd: armv7m.R8, Rm: rm}).
 		Emit(armv7m.MovImm{Rd: armv7m.R9, Imm: 8})
-	hexSeq++
-	loop := fmt.Sprintf("hex_loop_%d", hexSeq)
+	loop := fmt.Sprintf("hex_loop_%d", hexSeq.Add(1))
 	done := loop + "_done"
 	digit := loop + "_digit"
 	a.Label(loop)

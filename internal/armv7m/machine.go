@@ -119,6 +119,13 @@ type Machine struct {
 
 	// Trace, when non-nil, receives every executed instruction.
 	Trace func(pc uint32, in Instr)
+
+	// OnException, when non-nil, observes exception entry (entry=true,
+	// after the frame is stacked) and exception return (entry=false,
+	// after the frame is unstacked). excNum is the exception number
+	// being entered or returned from. The kernel's event tracer hangs
+	// off this hook; it must not mutate machine state.
+	OnException func(excNum uint32, entry bool)
 }
 
 // NewMachine assembles a machine around the given memory map.
@@ -266,6 +273,9 @@ func (m *Machine) TakeException(excNum uint32) error {
 		m.CPU.LR = ExcReturnThreadMSP
 	}
 	m.Meter.Add(CostException)
+	if m.OnException != nil {
+		m.OnException(excNum, true)
+	}
 	return nil
 }
 
@@ -288,6 +298,7 @@ func (m *Machine) exceptionReturn(excReturn uint32) error {
 	if err != nil {
 		return fmt.Errorf("armv7m: exception unstacking failed: %w", err)
 	}
+	returningFrom := m.CPU.PSR & IPSRMask
 	m.CPU.R[R0], m.CPU.R[R1], m.CPU.R[R2], m.CPU.R[R3] = f.R0, f.R1, f.R2, f.R3
 	m.CPU.R[R12], m.CPU.LR, m.CPU.PSR = f.R12, f.LR, f.PSR&^IPSRMask|0 // IPSR cleared on thread return
 	switch excReturn {
@@ -305,6 +316,9 @@ func (m *Machine) exceptionReturn(excReturn uint32) error {
 	}
 	m.writePC(f.ReturnAddr)
 	m.Meter.Add(CostException)
+	if m.OnException != nil {
+		m.OnException(returningFrom, false)
+	}
 	return nil
 }
 

@@ -4,18 +4,46 @@
 // are compared. Five cases are expected to differ — the ones printing
 // memory-layout details or cycle-dependent sensor values — and the
 // remaining sixteen must match byte for byte.
+//
+// Cases are independent kernels, so the campaign runs on a worker pool;
+// a case that fails to run is recorded in its Row.Err rather than
+// aborting the campaign. When a case's result does not match its
+// expectation (an *unexpected* mismatch), the case is re-run on both
+// flavours under the kernel event tracer and the two timelines are
+// attached to the row side by side, turning a byte-diff into a causal
+// timeline.
 package difftest
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 
 	"ticktock/internal/apps"
 	"ticktock/internal/kernel"
+	"ticktock/internal/monolithic"
+	"ticktock/internal/trace"
 )
 
 // DefaultQuanta bounds each run.
 const DefaultQuanta = 4000
+
+// Config tunes a campaign run. The zero value reproduces the paper's
+// §6.1 campaign.
+type Config struct {
+	// Bugs re-enables the published bug reproductions on the baseline
+	// kernel (and MissedModeSwitch in the shared switch path). Used to
+	// force unexpected divergences — and exercise the divergence dump.
+	Bugs monolithic.BugSet
+	// Workers sizes the worker pool (0 means GOMAXPROCS).
+	Workers int
+	// NoTraceDump disables the automatic divergence trace dump.
+	NoTraceDump bool
+	// TraceCapacity bounds each divergence tracer's ring buffer
+	// (0 means trace.DefaultCapacity).
+	TraceCapacity int
+}
 
 // Row is one line of the campaign table.
 type Row struct {
@@ -28,23 +56,32 @@ type Row struct {
 	// States summarizes final process states per flavour.
 	TickTockStates string
 	TockStates     string
+	// Err records a campaign-infrastructure failure for this case (the
+	// case could not be run); the comparison fields are then
+	// meaningless and the row counts as errored, not unexpected.
+	Err error
+	// Divergence holds the side-by-side event-trace dump captured when
+	// the row's result did not match its expectation.
+	Divergence string
 }
 
-// OK reports whether the row matches its expectation.
-func (r Row) OK() bool { return r.Equal != r.ExpectDiff }
+// OK reports whether the row matches its expectation. Errored rows are
+// never OK.
+func (r Row) OK() bool { return r.Err == nil && r.Equal != r.ExpectDiff }
 
-// runOn executes the case on one kernel flavour and returns the combined
-// output and final states.
-func runOn(tc apps.TestCase, fl kernel.Flavour) (string, string, error) {
-	k, err := kernel.New(kernel.Options{Flavour: fl})
+// runOn executes the case on one kernel flavour, optionally under a
+// tracer, and returns the kernel plus the combined output and final
+// states.
+func runOn(tc apps.TestCase, fl kernel.Flavour, bugs monolithic.BugSet, tr *trace.Tracer) (*kernel.Kernel, string, string, error) {
+	k, err := kernel.New(kernel.Options{Flavour: fl, Bugs: bugs, Trace: tr})
 	if err != nil {
-		return "", "", err
+		return nil, "", "", err
 	}
 	procs := make([]*kernel.Process, 0, len(tc.Apps))
 	for _, app := range tc.Apps {
 		p, err := k.LoadProcess(app)
 		if err != nil {
-			return "", "", fmt.Errorf("difftest %s on %s: %w", tc.Name, fl, err)
+			return nil, "", "", fmt.Errorf("difftest %s on %s: %w", tc.Name, fl, err)
 		}
 		procs = append(procs, p)
 	}
@@ -53,53 +90,106 @@ func runOn(tc apps.TestCase, fl kernel.Flavour) (string, string, error) {
 		quanta = DefaultQuanta
 	}
 	if _, err := k.Run(quanta); err != nil {
-		return "", "", fmt.Errorf("difftest %s on %s: %w", tc.Name, fl, err)
+		return nil, "", "", fmt.Errorf("difftest %s on %s: %w", tc.Name, fl, err)
 	}
 	var out, states strings.Builder
 	for _, p := range procs {
 		fmt.Fprintf(&out, "[%s] %s", p.Name, k.Output(p))
 		fmt.Fprintf(&states, "%s=%s ", p.Name, p.State)
 	}
-	return out.String(), states.String(), nil
+	return k, out.String(), states.String(), nil
 }
 
-// RunCase executes one case on both flavours.
-func RunCase(tc apps.TestCase) (Row, error) {
-	tt, ttStates, err := runOn(tc, kernel.FlavourTickTock)
-	if err != nil {
-		return Row{}, err
-	}
-	tk, tkStates, err := runOn(tc, kernel.FlavourTock)
-	if err != nil {
-		return Row{}, err
-	}
-	return Row{
-		Name:           tc.Name,
-		ExpectDiff:     tc.ExpectDiff,
-		Equal:          tt == tk,
-		TickTock:       tt,
-		Tock:           tk,
-		TickTockStates: ttStates,
-		TockStates:     tkStates,
-	}, nil
+// RunTraced executes one case on one flavour with tracing enabled and
+// returns the finished kernel and its tracer — the entry point for the
+// tracetab CLI and the trace-accounting checks.
+func RunTraced(tc apps.TestCase, fl kernel.Flavour, capacity int) (*kernel.Kernel, *trace.Tracer, error) {
+	tr := trace.New(capacity)
+	k, _, _, err := runOn(tc, fl, monolithic.BugSet{}, tr)
+	return k, tr, err
 }
 
-// RunAll executes the whole campaign.
-func RunAll() ([]Row, error) {
-	var rows []Row
-	for _, tc := range apps.All() {
-		row, err := RunCase(tc)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
+// RunCase executes one case on both flavours with the default config.
+func RunCase(tc apps.TestCase) Row { return RunCaseConfig(tc, Config{}) }
+
+// RunCaseConfig executes one case on both flavours. Infrastructure
+// failures land in Row.Err; an unexpected mismatch triggers the
+// divergence trace dump (unless disabled).
+func RunCaseConfig(tc apps.TestCase, cfg Config) Row {
+	row := Row{Name: tc.Name, ExpectDiff: tc.ExpectDiff}
+	_, tt, ttStates, err := runOn(tc, kernel.FlavourTickTock, cfg.Bugs, nil)
+	if err != nil {
+		row.Err = err
+		return row
 	}
-	return rows, nil
+	_, tk, tkStates, err := runOn(tc, kernel.FlavourTock, cfg.Bugs, nil)
+	if err != nil {
+		row.Err = err
+		return row
+	}
+	row.Equal = tt == tk
+	row.TickTock, row.Tock = tt, tk
+	row.TickTockStates, row.TockStates = ttStates, tkStates
+	if !row.OK() && !cfg.NoTraceDump {
+		row.Divergence = divergenceDump(tc, cfg)
+	}
+	return row
+}
+
+// divergenceDump re-runs the case on both flavours under tracing and
+// renders the two timelines side by side. The runs are deterministic, so
+// the re-run reproduces the divergence exactly.
+func divergenceDump(tc apps.TestCase, cfg Config) string {
+	ttTr := trace.New(cfg.TraceCapacity)
+	tkTr := trace.New(cfg.TraceCapacity)
+	_, _, _, ttErr := runOn(tc, kernel.FlavourTickTock, cfg.Bugs, ttTr)
+	_, _, _, tkErr := runOn(tc, kernel.FlavourTock, cfg.Bugs, tkTr)
+	var b strings.Builder
+	if ttErr != nil || tkErr != nil {
+		fmt.Fprintf(&b, "trace re-run errors: ticktock=%v tock=%v\n", ttErr, tkErr)
+	}
+	b.WriteString(trace.SideBySide("== ticktock ==", ttTr.TextDump(), "== tock ==", tkTr.TextDump(), 72))
+	return b.String()
+}
+
+// RunAll executes the whole campaign with the default config.
+func RunAll() []Row { return RunAllConfig(Config{}) }
+
+// RunAllConfig executes the whole campaign on a worker pool. Cases are
+// independent kernels, so they parallelize freely; rows come back in
+// case order regardless of completion order.
+func RunAllConfig(cfg Config) []Row {
+	cases := apps.All()
+	rows := make([]Row, len(cases))
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cases) {
+		workers = len(cases)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				rows[i] = RunCaseConfig(cases[i], cfg)
+			}
+		}()
+	}
+	for i := range cases {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return rows
 }
 
 // Summary tallies a campaign result.
 type Summary struct {
-	Total, Equal, Differing, Unexpected int
+	Total, Equal, Differing, Unexpected, Errored int
 }
 
 // Summarize computes the §6.1 headline numbers.
@@ -107,6 +197,10 @@ func Summarize(rows []Row) Summary {
 	var s Summary
 	s.Total = len(rows)
 	for _, r := range rows {
+		if r.Err != nil {
+			s.Errored++
+			continue
+		}
 		if r.Equal {
 			s.Equal++
 		} else {
@@ -124,6 +218,10 @@ func Table(rows []Row) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-18s %-8s %-10s %s\n", "test", "equal", "expected", "verdict")
 	for _, r := range rows {
+		if r.Err != nil {
+			fmt.Fprintf(&b, "%-18s %-8s %-10s ERROR: %v\n", r.Name, "-", "-", r.Err)
+			continue
+		}
 		verdict := "ok"
 		if !r.OK() {
 			verdict = "UNEXPECTED"
@@ -135,7 +233,7 @@ func Table(rows []Row) string {
 		fmt.Fprintf(&b, "%-18s %-8v %-10s %s\n", r.Name, r.Equal, expected, verdict)
 	}
 	s := Summarize(rows)
-	fmt.Fprintf(&b, "\n%d tests, %d identical, %d differing (%d unexpected)\n",
-		s.Total, s.Equal, s.Differing, s.Unexpected)
+	fmt.Fprintf(&b, "\n%d tests, %d identical, %d differing (%d unexpected, %d errored)\n",
+		s.Total, s.Equal, s.Differing, s.Unexpected, s.Errored)
 	return b.String()
 }

@@ -7,6 +7,7 @@ import (
 	"ticktock/internal/cycles"
 	"ticktock/internal/monolithic"
 	"ticktock/internal/tbf"
+	"ticktock/internal/trace"
 )
 
 // Flavour selects which memory-management implementation backs the kernel.
@@ -86,6 +87,11 @@ type Options struct {
 	Timeslice uint32
 	// Padding forwards to the granular allocator (§6.2 padded config).
 	Padding uint32
+	// Trace, when non-nil, receives kernel events (syscalls, context
+	// switches, exceptions, faults, ...). Tracing observes the cycle
+	// meter but never charges it, so traced runs report the same
+	// Figure 11/12 numbers as untraced ones.
+	Trace *trace.Tracer
 }
 
 // DefaultTimeslice matches a 10 ms quantum at the modelled clock.
@@ -125,6 +131,9 @@ type Kernel struct {
 
 	// ipcSeq orders cross-process copies for determinism.
 	ipcSeq int
+
+	// tracer, when non-nil, records kernel events (Options.Trace).
+	tracer *trace.Tracer
 }
 
 // New boots a kernel on a fresh board.
@@ -136,13 +145,54 @@ func New(opts Options) (*Kernel, error) {
 	if opts.Timeslice == 0 {
 		opts.Timeslice = DefaultTimeslice
 	}
-	return &Kernel{
+	k := &Kernel{
 		Board:      b,
 		Opts:       opts,
 		Stats:      NewStats(),
 		poolCursor: ProcessPoolBase,
 		output:     make(map[int][]byte),
-	}, nil
+		tracer:     opts.Trace,
+	}
+	if k.tracer != nil {
+		m := b.Machine
+		m.OnException = func(excNum uint32, entry bool) {
+			kind := trace.KindExceptionEntry
+			if !entry {
+				kind = trace.KindExceptionReturn
+			}
+			k.tracer.Emit(trace.Event{
+				Cycle: m.Meter.Cycles(),
+				Kind:  kind,
+				Proc:  trace.KernelProc,
+				A:     uint64(excNum),
+			})
+		}
+	}
+	return k, nil
+}
+
+// Tracer returns the attached event tracer (nil when tracing is off).
+func (k *Kernel) Tracer() *trace.Tracer { return k.tracer }
+
+// emit records a trace event attributed to p (or the kernel when p is
+// nil). It is a no-op without an attached tracer and never touches the
+// cycle meter.
+func (k *Kernel) emit(kind trace.Kind, p *Process, a, b uint64, label string) {
+	if k.tracer == nil {
+		return
+	}
+	ev := trace.Event{
+		Cycle: k.Meter().Cycles(),
+		Kind:  kind,
+		Proc:  trace.KernelProc,
+		A:     a,
+		B:     b,
+		Label: label,
+	}
+	if p != nil {
+		ev.Proc, ev.Name = p.ID, p.Name
+	}
+	k.tracer.Emit(ev)
 }
 
 // Meter returns the board cycle meter.
@@ -331,6 +381,7 @@ func (k *Kernel) switchToProcess(p *Process) error {
 	if err := k.instrument("setup_mpu", p.MM.ConfigureMPU); err != nil {
 		return err
 	}
+	k.emit(trace.KindMPUConfig, p, 0, 0, "")
 	m := k.Board.Machine
 	if k.Opts.Scheduler == SchedCooperative {
 		m.Tick.Disarm()
@@ -393,9 +444,11 @@ func (k *Kernel) RunOnce() (bool, error) {
 		return false, fmt.Errorf("kernel: running %s: %w", p.Name, err)
 	}
 	k.Switches++
+	k.emit(trace.KindContextSwitch, p, k.Switches, 0, stop.Reason.String())
 
 	switch stop.Reason {
 	case armv7m.StopPreempted:
+		k.emit(trace.KindSysTick, p, 0, 0, "")
 		k.saveProcessContext(p)
 	case armv7m.StopSyscall:
 		k.saveProcessContext(p)
@@ -449,6 +502,7 @@ func (k *Kernel) Run(maxQuanta int) (int, error) {
 func (k *Kernel) faultProcess(p *Process, cause error) {
 	p.State = StateFaulted
 	p.FaultReason = fmt.Sprint(cause)
+	k.emit(trace.KindFault, p, 0, 0, p.FaultReason)
 	k.appendOutput(p, fmt.Sprintf("panic: process %s faulted: %v\n", p.Name, cause))
 	if f := k.Board.Machine.Fault; f.Valid {
 		k.appendOutput(p, fmt.Sprintf("mmfar: 0x%08x daccviol=%v iaccviol=%v\n", f.MMFAR, f.DACCVIOL, f.IACCVIOL))
@@ -467,6 +521,7 @@ func (k *Kernel) faultProcess(p *Process, cause error) {
 				return
 			}
 			p.Restarts++
+			k.emit(trace.KindRestart, p, uint64(p.Restarts), 0, "")
 			k.appendOutput(p, fmt.Sprintf("restarting %s (attempt %d/%d)\n", p.Name, p.Restarts, maxR))
 		}
 	}

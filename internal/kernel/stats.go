@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // MethodStat aggregates instrumented cycle counts for one kernel method —
@@ -21,8 +22,11 @@ func (s MethodStat) Mean() float64 {
 	return float64(s.Cycles) / float64(s.Count)
 }
 
-// Stats collects per-method cycle counts.
+// Stats collects per-method cycle counts. All methods are goroutine-safe,
+// so parallel campaigns can Merge worker kernels' stats and the tracer's
+// counter mirror can be compared against a still-running collector.
 type Stats struct {
+	mu      sync.Mutex
 	methods map[string]*MethodStat
 }
 
@@ -31,6 +35,8 @@ func NewStats() *Stats { return &Stats{methods: make(map[string]*MethodStat)} }
 
 // Record adds one timed invocation.
 func (s *Stats) Record(method string, cyc uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	st, ok := s.methods[method]
 	if !ok {
 		st = &MethodStat{}
@@ -42,6 +48,8 @@ func (s *Stats) Record(method string, cyc uint64) {
 
 // Get returns the stat for a method (zero value if never recorded).
 func (s *Stats) Get(method string) MethodStat {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if st, ok := s.methods[method]; ok {
 		return *st
 	}
@@ -50,6 +58,8 @@ func (s *Stats) Get(method string) MethodStat {
 
 // Methods returns the recorded method names, sorted.
 func (s *Stats) Methods() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make([]string, 0, len(s.methods))
 	for m := range s.methods {
 		out = append(out, m)
@@ -68,9 +78,25 @@ func (s *Stats) String() string {
 	return b.String()
 }
 
+// snapshot copies the collector's state under its own lock, so Merge
+// never holds two Stats locks at once (no lock-order deadlocks when two
+// collectors merge into each other concurrently).
+func (s *Stats) snapshot() map[string]MethodStat {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]MethodStat, len(s.methods))
+	for m, st := range s.methods {
+		out[m] = *st
+	}
+	return out
+}
+
 // Merge folds another collector's counts into this one.
 func (s *Stats) Merge(o *Stats) {
-	for m, st := range o.methods {
+	snap := o.snapshot()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for m, st := range snap {
 		cur, ok := s.methods[m]
 		if !ok {
 			cur = &MethodStat{}

@@ -5,6 +5,7 @@ import (
 
 	"ticktock/internal/cycles"
 	"ticktock/internal/mpu"
+	"ticktock/internal/trace"
 )
 
 // Syscall classes (the SVC immediate), a compact version of the Tock 2.x
@@ -44,6 +45,30 @@ const (
 	RetNoMem   = 0xFFFF_FFFD
 )
 
+// SVCName returns the human name of a syscall class for trace output.
+func SVCName(svcNum uint8) string {
+	switch svcNum {
+	case SVCYield:
+		return "yield"
+	case SVCCommand:
+		return "command"
+	case SVCAllowRW:
+		return "allow-rw"
+	case SVCAllowRO:
+		return "allow-ro"
+	case SVCMemop:
+		return "memop"
+	case SVCExit:
+		return "exit"
+	case SVCSubscribe:
+		return "subscribe"
+	case SVCUpcallDone:
+		return "upcall-done"
+	default:
+		return fmt.Sprintf("svc-%d", svcNum)
+	}
+}
+
 // syscallServiceCycles is the flavour-independent cost of servicing a
 // syscall inside the kernel — argument unstacking, process-table lookup,
 // capability checks and the return path. The paper's measurement hooks
@@ -72,6 +97,13 @@ func (k *Kernel) handleSyscall(p *Process, svcNum uint8) error {
 		return fmt.Errorf("kernel: reading syscall frame of %s: %w", p.Name, err)
 	}
 	var ret uint32 = RetSuccess
+	if k.tracer != nil {
+		k.emit(trace.KindSyscallEnter, p, uint64(svcNum), uint64(f.R0), SVCName(svcNum))
+		// The exit event pairs with the enter even on the early-return
+		// paths (yield delivering an upcall, exit, upcall-done), so
+		// Chrome B/E spans always close.
+		defer func() { k.emit(trace.KindSyscallExit, p, uint64(svcNum), uint64(ret), SVCName(svcNum)) }()
+	}
 
 	switch svcNum {
 	case SVCYield:
@@ -230,7 +262,10 @@ func (k *Kernel) memop(p *Process, op, arg uint32) uint32 {
 			k.Meter().Add(syscallServiceCycles)
 			if err := p.MM.Brk(arg); err != nil {
 				ret = RetInvalid
+				k.emit(trace.KindBrk, p, uint64(arg), 0, "brk")
+				return nil
 			}
+			k.emit(trace.KindBrk, p, uint64(arg), uint64(p.MM.Layout().AppBreak), "brk")
 			return nil
 		})
 		return ret
@@ -241,9 +276,11 @@ func (k *Kernel) memop(p *Process, op, arg uint32) uint32 {
 			nb, err := p.MM.Sbrk(int32(arg))
 			if err != nil {
 				ret = RetInvalid
+				k.emit(trace.KindBrk, p, uint64(arg), 0, "sbrk")
 				return nil
 			}
 			ret = nb
+			k.emit(trace.KindBrk, p, uint64(arg), uint64(nb), "sbrk")
 			return nil
 		})
 		return ret
@@ -337,6 +374,7 @@ func (k *Kernel) alarmCmd(p *Process, cmd, arg2 uint32) uint32 {
 			_ = k.instrument("allocate_grant", func() error {
 				k.Meter().Add(syscallServiceCycles)
 				addr, err = p.MM.AllocateGrant(8)
+				k.emit(trace.KindGrantAlloc, p, 8, uint64(addr), "alarm")
 				return nil
 			})
 			if err != nil {
@@ -404,10 +442,12 @@ func (k *Kernel) grantCmd(p *Process, cmd, arg2 uint32) uint32 {
 		addr, err := p.MM.AllocateGrant(arg2)
 		if err != nil {
 			ret = RetNoMem
+			k.emit(trace.KindGrantAlloc, p, uint64(arg2), 0, "grant")
 			return nil
 		}
 		p.Grants = append(p.Grants, addr)
 		ret = RetSuccess
+		k.emit(trace.KindGrantAlloc, p, uint64(arg2), uint64(addr), "grant")
 		return nil
 	})
 	return ret

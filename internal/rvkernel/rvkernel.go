@@ -20,6 +20,7 @@ import (
 	"ticktock/internal/riscv"
 	"ticktock/internal/rv32"
 	"ticktock/internal/tbf"
+	"ticktock/internal/trace"
 )
 
 // Memory map of the simulated RISC-V board (HiFive1-like).
@@ -135,6 +136,53 @@ type Kernel struct {
 	switches   uint64
 	output     map[int][]byte
 	LEDs       [4]bool
+
+	// Trace, when non-nil, receives kernel events, mirroring the ARM
+	// kernel's tracer wiring. Set it before Run.
+	Trace *trace.Tracer
+}
+
+// Switches returns the number of completed context switches.
+func (k *Kernel) Switches() uint64 { return k.switches }
+
+// emit records a trace event attributed to p (or the kernel when p is
+// nil). No-op without a tracer; never touches the cycle meter.
+func (k *Kernel) emit(kind trace.Kind, p *Process, a, b uint64, label string) {
+	if k.Trace == nil {
+		return
+	}
+	ev := trace.Event{
+		Cycle: k.Machine.Meter.Cycles(),
+		Kind:  kind,
+		Proc:  trace.KernelProc,
+		A:     a,
+		B:     b,
+		Label: label,
+	}
+	if p != nil {
+		ev.Proc, ev.Name = p.ID, p.Name
+	}
+	k.Trace.Emit(ev)
+}
+
+// svcName names a RISC-V syscall class for trace output.
+func svcName(class uint32) string {
+	switch class {
+	case SVCYield:
+		return "yield"
+	case SVCCommand:
+		return "command"
+	case SVCAllowRW:
+		return "allow-rw"
+	case SVCAllowRO:
+		return "allow-ro"
+	case SVCMemop:
+		return "memop"
+	case SVCExit:
+		return "exit"
+	default:
+		return fmt.Sprintf("svc-%d", class)
+	}
 }
 
 // New boots a RISC-V kernel on the given chip.
@@ -304,6 +352,7 @@ func (k *Kernel) RunOnce() (bool, error) {
 	if err := p.Alloc.ConfigureMPU(); err != nil {
 		return false, err
 	}
+	k.emit(trace.KindMPUConfig, p, 0, 0, "pmp")
 	m := k.Machine
 	m.X = p.Regs
 	m.Timer.Arm(k.Timeslice)
@@ -314,6 +363,7 @@ func (k *Kernel) RunOnce() (bool, error) {
 		return false, err
 	}
 	k.switches++
+	k.emit(trace.KindContextSwitch, p, k.switches, 0, stop.Reason.String())
 
 	// Context switch out: save registers (no hardware stacking on
 	// RISC-V — the kernel does it, as Tock's trap handler does).
@@ -324,12 +374,14 @@ func (k *Kernel) RunOnce() (bool, error) {
 	switch stop.Reason {
 	case rv32.StopTimer:
 		// Resume at the interrupted pc next time.
+		k.emit(trace.KindSysTick, p, 0, 0, "mtimer")
 	case rv32.StopEcall:
 		p.PC = m.CSR.MEPC + 4 // resume past the ecall
 		k.handleSyscall(p)
 	case rv32.StopFault:
 		p.State = StateFaulted
 		p.FaultReason = fmt.Sprint(stop.Fault)
+		k.emit(trace.KindFault, p, 0, 0, p.FaultReason)
 		k.appendOutput(p, fmt.Sprintf("panic: process %s faulted: %v\n", p.Name, stop.Fault))
 		b := p.Alloc.Breaks()
 		k.appendOutput(p, fmt.Sprintf("layout: %s\n", b.String()))
@@ -370,6 +422,10 @@ func (k *Kernel) handleSyscall(p *Process) {
 	class := p.Regs[rv32.A7]
 	a0, a1, a2 := p.Regs[rv32.A0], p.Regs[rv32.A1], p.Regs[rv32.A2]
 	var ret uint32 = RetSuccess
+	if k.Trace != nil {
+		k.emit(trace.KindSyscallEnter, p, uint64(class), uint64(a0), svcName(class))
+		defer func() { k.emit(trace.KindSyscallExit, p, uint64(class), uint64(ret), svcName(class)) }()
+	}
 
 	switch class {
 	case SVCYield:
@@ -411,14 +467,18 @@ func (k *Kernel) memop(p *Process, op, arg uint32) uint32 {
 	switch op {
 	case MemopBrk:
 		if err := p.Alloc.Brk(arg); err != nil {
+			k.emit(trace.KindBrk, p, uint64(arg), 0, "brk")
 			return RetInvalid
 		}
+		k.emit(trace.KindBrk, p, uint64(arg), uint64(p.Alloc.Breaks().AppBreak()), "brk")
 		return RetSuccess
 	case MemopSbrk:
 		nb, err := p.Alloc.Sbrk(int32(arg))
 		if err != nil {
+			k.emit(trace.KindBrk, p, uint64(arg), 0, "sbrk")
 			return RetInvalid
 		}
+		k.emit(trace.KindBrk, p, uint64(arg), uint64(nb), "sbrk")
 		return nb
 	case MemopMemoryStart:
 		return b.MemoryStart()
@@ -488,9 +548,11 @@ func (k *Kernel) command(p *Process, driver, cmd, arg2 uint32) uint32 {
 		}
 		addr, err := p.Alloc.AllocateGrant(arg2)
 		if err != nil {
+			k.emit(trace.KindGrantAlloc, p, uint64(arg2), 0, "grant")
 			return RetNoMem
 		}
 		p.Grants = append(p.Grants, addr)
+		k.emit(trace.KindGrantAlloc, p, uint64(arg2), uint64(addr), "grant")
 		return RetSuccess
 	default:
 		return RetInvalid

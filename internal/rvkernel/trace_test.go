@@ -1,0 +1,62 @@
+package rvkernel
+
+import (
+	"testing"
+
+	"ticktock/internal/riscv"
+	"ticktock/internal/trace"
+)
+
+// TestTraceCountsMatchKernelCounters mirrors the ARM kernel's trace
+// accounting check on the RISC-V port: context-switch events equal the
+// kernel's switch counter, syscall spans balance, and tracing costs zero
+// simulated cycles.
+func TestTraceCountsMatchKernelCounters(t *testing.T) {
+	run := func(tr *trace.Tracer) (*Kernel, error) {
+		k, err := New(riscv.Chips[0])
+		if err != nil {
+			return nil, err
+		}
+		k.Trace = tr
+		for _, app := range ReleaseSubset() {
+			if _, err := k.LoadProcess(app); err != nil {
+				return nil, err
+			}
+		}
+		_, err = k.Run(4000)
+		return k, err
+	}
+
+	plain, err := run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New(1 << 17)
+	traced, err := run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if tr.Emitted() == 0 {
+		t.Fatal("no events emitted")
+	}
+	if d := tr.Dropped(); d != 0 {
+		t.Fatalf("ring dropped %d events; raise the test capacity", d)
+	}
+	if got, want := tr.Count(trace.KindContextSwitch), traced.Switches(); got != want {
+		t.Errorf("%d context-switch events, kernel counted %d", got, want)
+	}
+	if tr.Count(trace.KindSyscallEnter) != tr.Count(trace.KindSyscallExit) {
+		t.Errorf("unbalanced syscall spans: %d enters, %d exits",
+			tr.Count(trace.KindSyscallEnter), tr.Count(trace.KindSyscallExit))
+	}
+	if tr.Count(trace.KindMPUConfig) == 0 || tr.Count(trace.KindGrantAlloc) == 0 {
+		t.Error("expected PMP-config and grant-alloc events from the release subset")
+	}
+	if got, want := traced.Machine.Meter.Cycles(), plain.Machine.Meter.Cycles(); got != want {
+		t.Errorf("traced run used %d cycles, untraced %d — tracing must be free", got, want)
+	}
+	if got, want := traced.Switches(), plain.Switches(); got != want {
+		t.Errorf("traced switches=%d, untraced %d", got, want)
+	}
+}

@@ -1,0 +1,227 @@
+// Package trace is the kernel event tracer: a low-overhead,
+// fixed-capacity ring buffer of typed events emitted from the kernel's
+// hot paths (syscall dispatch, context switches, exception entry/return,
+// MPU reconfiguration, grant allocation, faults).
+//
+// Design constraints, in order:
+//
+//  1. Zero simulated cost. The tracer never touches the cycle meter, so
+//     a traced run reports exactly the same Figure 11/12 numbers as an
+//     untraced one — the timestamps *are* the meter readings, taken as
+//     observations, not charges.
+//  2. Nil safety. Every method on a nil *Tracer is a no-op, so the
+//     kernel's emit sites need no guards and tracing is disabled by
+//     default simply by not attaching a tracer.
+//  3. Bounded memory. The buffer holds the most recent Capacity events;
+//     older ones are overwritten and accounted in Dropped(). Per-kind
+//     counters keep exact totals across overwrites — the "counter
+//     mirror" the differential-campaign acceptance check compares
+//     against the kernel's own Switches/Stats counters.
+//  4. Goroutine safety. Parallel campaigns trace concurrently; a single
+//     mutex guards the ring (the emit path is a few stores, so the
+//     paper-scale workloads see no contention).
+package trace
+
+import "sync"
+
+// Kind classifies a trace event.
+type Kind uint8
+
+// Event kinds, covering the kernel transitions §6.1 debugging needs.
+const (
+	// KindSyscallEnter: a process trapped into the kernel. A=SVC class,
+	// Label=class name.
+	KindSyscallEnter Kind = iota
+	// KindSyscallExit: the kernel finished servicing a syscall. A=SVC
+	// class, B=return value written into the stacked r0.
+	KindSyscallExit
+	// KindContextSwitch: one completed kernel→process→kernel round
+	// trip. A=total switch count after this one.
+	KindContextSwitch
+	// KindExceptionEntry: hardware exception entry. A=exception number.
+	KindExceptionEntry
+	// KindExceptionReturn: exception return to thread mode. A=exception
+	// number being returned from.
+	KindExceptionReturn
+	// KindSysTick: the timeslice timer preempted the running process.
+	KindSysTick
+	// KindMPUConfig: the MPU/PMP was reprogrammed for a process
+	// (the instrumented setup_mpu path).
+	KindMPUConfig
+	// KindGrantAlloc: a grant allocation was attempted. A=requested
+	// size, B=resulting base address (0 on failure).
+	KindGrantAlloc
+	// KindBrk: a brk/sbrk memop ran. A=argument, B=resulting break
+	// (0 on failure). Label distinguishes "brk" from "sbrk".
+	KindBrk
+	// KindFault: a process faulted. Label carries the cause.
+	KindFault
+	// KindRestart: the fault policy restarted a process. A=restart
+	// attempt number.
+	KindRestart
+
+	numKinds = int(KindRestart) + 1
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindSyscallEnter:
+		return "syscall-enter"
+	case KindSyscallExit:
+		return "syscall-exit"
+	case KindContextSwitch:
+		return "context-switch"
+	case KindExceptionEntry:
+		return "exception-entry"
+	case KindExceptionReturn:
+		return "exception-return"
+	case KindSysTick:
+		return "systick"
+	case KindMPUConfig:
+		return "mpu-config"
+	case KindGrantAlloc:
+		return "grant-alloc"
+	case KindBrk:
+		return "brk"
+	case KindFault:
+		return "fault"
+	case KindRestart:
+		return "restart"
+	default:
+		return "unknown"
+	}
+}
+
+// KernelProc is the Proc value for events not attributable to a process.
+const KernelProc = -1
+
+// Event is one recorded kernel transition.
+type Event struct {
+	// Seq is the global emission order (monotonic, survives overwrites).
+	Seq uint64
+	// Cycle is the simulated cycle meter reading at emission.
+	Cycle uint64
+	// Kind classifies the event.
+	Kind Kind
+	// Proc is the process ID the event concerns, or KernelProc.
+	Proc int
+	// Name is the process (or kernel component) name.
+	Name string
+	// A and B are kind-specific arguments (see the Kind docs).
+	A, B uint64
+	// Label is a kind-specific detail string (syscall class, fault
+	// cause, ...).
+	Label string
+}
+
+// DefaultCapacity bounds a tracer built with New(0).
+const DefaultCapacity = 4096
+
+// Tracer records events into a fixed-capacity ring buffer.
+// The zero value is not usable; call New. A nil *Tracer is a valid
+// disabled tracer: every method no-ops.
+type Tracer struct {
+	mu      sync.Mutex
+	ring    []Event
+	cap     int
+	emitted uint64
+	counts  [numKinds]uint64
+}
+
+// New returns a tracer holding at most capacity events (DefaultCapacity
+// if capacity <= 0).
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Tracer{ring: make([]Event, 0, capacity), cap: capacity}
+}
+
+// Enabled reports whether events will be recorded.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Emit records one event. Nil-safe.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	e.Seq = t.emitted
+	t.emitted++
+	if int(e.Kind) < numKinds {
+		t.counts[e.Kind]++
+	}
+	if len(t.ring) < t.cap {
+		t.ring = append(t.ring, e)
+	} else {
+		t.ring[int(e.Seq)%t.cap] = e
+	}
+	t.mu.Unlock()
+}
+
+// Emitted returns the total number of events ever emitted, including
+// those overwritten in the ring. Nil-safe (returns 0).
+func (t *Tracer) Emitted() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.emitted
+}
+
+// Dropped returns how many events have been overwritten. Nil-safe.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.emitted <= uint64(t.cap) {
+		return 0
+	}
+	return t.emitted - uint64(t.cap)
+}
+
+// Count returns the exact number of events of one kind ever emitted,
+// even if some were overwritten — the counter mirror. Nil-safe.
+func (t *Tracer) Count(k Kind) uint64 {
+	if t == nil || int(k) >= numKinds {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.counts[k]
+}
+
+// Events returns the buffered events in emission order (oldest
+// surviving event first). Nil-safe (returns nil).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.ring))
+	if t.emitted <= uint64(t.cap) {
+		return append(out, t.ring...)
+	}
+	// The ring wrapped: the oldest surviving event sits at emitted%cap.
+	start := int(t.emitted) % t.cap
+	out = append(out, t.ring[start:]...)
+	out = append(out, t.ring[:start]...)
+	return out
+}
+
+// Reset discards buffered events and counters. Nil-safe.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ring = t.ring[:0]
+	t.emitted = 0
+	t.counts = [numKinds]uint64{}
+}
