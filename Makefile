@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench
+.PHONY: ci fmt vet build test race bench profile cover ablation
 
 # ci is the gate the concurrency-touching paths (parallel difftest
-# campaign, goroutine-safe Stats, tracer) must keep green.
+# campaign, goroutine-safe Stats, tracer, metrics registry) must keep
+# green.
 ci: fmt vet build test race
 
 fmt:
@@ -24,3 +25,18 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# profile runs the whole release campaign with metrics attached and
+# prints the merged table plus the folded-stack cycle profile. Use
+# `go run ./cmd/profile -h` for single-case / Prometheus / folded modes.
+profile:
+	$(GO) run ./cmd/profile -all
+
+# cover prints the per-package statement-coverage summary.
+cover:
+	$(GO) test -cover ./...
+
+# ablation proves the observability subsystems are free at the
+# simulated-cycle level (tracer and metrics registry).
+ablation:
+	$(GO) test -bench 'Ablation_TraceOverhead|Ablation_MetricsOverhead' -benchtime 1x -run '^$$' .

@@ -20,6 +20,7 @@ import (
 	"ticktock/internal/difftest"
 	"ticktock/internal/kernel"
 	"ticktock/internal/membench"
+	"ticktock/internal/metrics"
 	"ticktock/internal/specs"
 	"ticktock/internal/trace"
 )
@@ -294,6 +295,55 @@ func BenchmarkAblation_TraceOverhead(b *testing.B) {
 		}
 		if delta != 0 {
 			b.Fatalf("tracing cost %d simulated cycles (traced=%d untraced=%d)", delta, tracedCycles, plainCycles)
+		}
+	}
+	b.ReportMetric(float64(delta), "sim-cycle-delta")
+}
+
+// BenchmarkAblation_MetricsOverhead guards the metrics subsystem's
+// zero-simulated-cost guarantee: with a registry attached the run must
+// reach the identical meter reading, `create` cycle stats and switch
+// count as an uninstrumented run — instrumentation observes the cycle
+// meter, never charges it. On top of the trace guarantee this also
+// checks the folded-stack invariant: the profile's stacks must sum to
+// exactly the instrumented run's total simulated cycles.
+func BenchmarkAblation_MetricsOverhead(b *testing.B) {
+	run := func(reg *metrics.Registry) (*kernel.Kernel, uint64, float64, uint64) {
+		k, err := kernel.New(kernel.Options{Flavour: kernel.FlavourTickTock, Timeslice: 200, Metrics: reg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := k.LoadProcess(spinner()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := k.Run(50); err != nil {
+			b.Fatal(err)
+		}
+		return k, k.Meter().Cycles(), k.Stats.Get("create").Mean(), k.Switches
+	}
+	var delta uint64
+	for i := 0; i < b.N; i++ {
+		_, plainCycles, plainCreate, plainSwitches := run(nil)
+		reg := metrics.NewRegistry()
+		k, meteredCycles, meteredCreate, meteredSwitches := run(reg)
+		if reg.Counter("ticktock_context_switches_total",
+			metrics.L("flavour", kernel.FlavourTickTock.String())).Value() != meteredSwitches {
+			b.Fatal("registry attached but switches not counted")
+		}
+		if plainCreate != meteredCreate || plainSwitches != meteredSwitches {
+			b.Fatalf("metrics changed the workload: create %v->%v, switches %d->%d",
+				plainCreate, meteredCreate, plainSwitches, meteredSwitches)
+		}
+		if meteredCycles > plainCycles {
+			delta = meteredCycles - plainCycles
+		} else {
+			delta = plainCycles - meteredCycles
+		}
+		if delta != 0 {
+			b.Fatalf("metrics cost %d simulated cycles (metered=%d unmetered=%d)", delta, meteredCycles, plainCycles)
+		}
+		if got := k.Profile().Total(); got != meteredCycles {
+			b.Fatalf("folded-stack invariant broken: profile total %d, meter %d", got, meteredCycles)
 		}
 	}
 	b.ReportMetric(float64(delta), "sim-cycle-delta")

@@ -2,11 +2,13 @@
 // bounded checker takes to discharge every proof obligation, per suite —
 // the monolithic abstraction (dominated by the entangled
 // allocate_app_mem_region obligation), the granular redesign, and the
-// interrupt/context-switch models.
+// interrupt/context-switch models. Each suite row also reports the
+// checker's observability numbers: states enumerated, contracts checked
+// and domain coverage.
 //
 // Usage:
 //
-//	verifybench [-quick]
+//	verifybench [-quick] [-parallel N] [-specs] [-prom FILE]
 package main
 
 import (
@@ -15,40 +17,91 @@ import (
 	"os"
 	"time"
 
+	"ticktock/internal/metrics"
 	"ticktock/internal/specs"
 	"ticktock/internal/verify"
 )
 
+// coverage renders a [0,1] fraction, or "-" when the spec declares no
+// domain size.
+func coverage(c float64) string {
+	if c < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f%%", c*100)
+}
+
 func row(name string, rep *verify.Report) {
 	s := rep.Stats()
-	fmt.Printf("%-24s %6d %12s %12s %12s %12s\n",
+	fmt.Printf("%-24s %6d %12s %12s %12s %12s %12d %12d %9s\n",
 		name, s.Fns, s.Total.Round(time.Millisecond), s.Max.Round(time.Millisecond),
-		s.Mean.Round(time.Microsecond), s.StdDev.Round(time.Microsecond))
+		s.Mean.Round(time.Microsecond), s.StdDev.Round(time.Microsecond),
+		rep.TotalStates(), rep.TotalChecked(), coverage(rep.Coverage()))
+}
+
+// specTable prints the per-spec states-enumerated and coverage columns
+// for the n slowest obligations of the suite (n <= 0 means all, in
+// registration order).
+func specTable(name string, rep *verify.Report, n int) {
+	results := rep.Results
+	if n > 0 {
+		results = rep.Slowest(n)
+	}
+	fmt.Printf("\n%s — per-spec detail:\n", name)
+	fmt.Printf("  %-56s %12s %12s %12s %9s\n", "spec", "time", "states", "checked", "coverage")
+	for _, res := range results {
+		if res.Spec.Body == nil {
+			continue // trusted: nothing ran
+		}
+		fmt.Printf("  %-56s %12s %12d %12d %9s\n",
+			res.Spec.Name, res.Elapsed.Round(time.Microsecond),
+			res.States, res.Checked, coverage(res.Coverage()))
+	}
 }
 
 func main() {
 	quick := flag.Bool("quick", false, "use the reduced domain scale")
 	parallel := flag.Int("parallel", 0, "check obligations with N workers (0 = sequential, the Figure 12 timing mode)")
+	perSpec := flag.Bool("specs", false, "print every obligation's states/coverage row (default: 5 slowest per suite)")
+	promOut := flag.String("prom", "", "write the checker's metric registry to FILE in Prometheus text format")
 	flag.Parse()
 	sc := specs.PaperScale
 	if *quick {
 		sc = specs.QuickScale
 	}
 
-	fmt.Printf("%-24s %6s %12s %12s %12s %12s\n", "Component", "Fns.", "Total", "Max", "Mean", "StdDev")
-
+	reg := metrics.NewRegistry()
 	check := func(r *verify.Registry) *verify.Report {
-		if *parallel > 0 {
-			return r.RunParallel(*parallel)
-		}
-		return r.Run()
+		total := len(r.Specs())
+		return r.RunWith(verify.RunOpts{
+			Workers: *parallel,
+			Metrics: reg,
+			Progress: func(done, _ int, last *verify.Result) {
+				fmt.Fprintf(os.Stderr, "\r%4d/%-4d %-56s", done, total, last.Spec.Name)
+				if done == total {
+					fmt.Fprintf(os.Stderr, "\r%-70s\r", "")
+				}
+			},
+			ProgressEvery: 8,
+		})
 	}
+
+	fmt.Printf("%-24s %6s %12s %12s %12s %12s %12s %12s %9s\n",
+		"Component", "Fns.", "Total", "Max", "Mean", "StdDev", "States", "Checked", "Coverage")
 	mono := check(specs.BuildMonolithic(sc))
 	row("TickTock (Monolithic)", mono)
 	gran := check(specs.BuildGranular(sc))
 	row("TickTock (Granular)", gran)
 	intr := check(specs.BuildInterrupts(sc))
 	row("Interrupts", intr)
+
+	n := 5
+	if *perSpec {
+		n = 0
+	}
+	specTable("TickTock (Monolithic)", mono, n)
+	specTable("TickTock (Granular)", gran, n)
+	specTable("Interrupts", intr, n)
 
 	bad := 0
 	for _, rep := range []*verify.Report{mono, gran, intr} {
@@ -65,9 +118,26 @@ func main() {
 		slow := slowest[0]
 		if total := mono.Stats().Total; total > 0 {
 			frac := float64(slow.Elapsed) / float64(total) * 100
-			fmt.Printf("\nslowest monolithic obligation: %s (%.0f%% of suite time)\n", slow.Spec.Name, frac)
+			fmt.Printf("\nslowest monolithic obligation: %s (%.0f%% of suite time, %d states)\n",
+				slow.Spec.Name, frac, slow.States)
 		} else {
 			fmt.Printf("\nslowest monolithic obligation: %s\n", slow.Spec.Name)
+		}
+	}
+
+	if *promOut != "" {
+		f, err := os.Create(*promOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prom export: %v\n", err)
+			os.Exit(1)
+		}
+		if err := reg.ExportPrometheus(f); err != nil {
+			fmt.Fprintf(os.Stderr, "prom export: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "prom export: %v\n", err)
+			os.Exit(1)
 		}
 	}
 	if bad > 0 {

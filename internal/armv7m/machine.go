@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"ticktock/internal/metrics"
 	"ticktock/internal/mpu"
 )
 
@@ -126,6 +127,13 @@ type Machine struct {
 	// being entered or returned from. The kernel's event tracer hangs
 	// off this hook; it must not mutate machine state.
 	OnException func(excNum uint32, entry bool)
+
+	// Machine-level metrics (AttachMetrics). All are nil-safe: an
+	// unattached machine pays one nil check per site and charges no
+	// simulated cycles either way.
+	mInstr *metrics.Counter
+	mTick  *metrics.Counter
+	mExc   [16]*metrics.Counter
 }
 
 // NewMachine assembles a machine around the given memory map.
@@ -273,6 +281,9 @@ func (m *Machine) TakeException(excNum uint32) error {
 		m.CPU.LR = ExcReturnThreadMSP
 	}
 	m.Meter.Add(CostException)
+	if excNum < uint32(len(m.mExc)) {
+		m.mExc[excNum].Inc()
+	}
 	if m.OnException != nil {
 		m.OnException(excNum, true)
 	}
@@ -328,6 +339,7 @@ func (m *Machine) exceptionReturn(excReturn uint32) error {
 func (m *Machine) Step() (*Stop, error) {
 	// Pending SysTick preempts before the next instruction issues.
 	if m.Tick.TakePending() {
+		m.mTick.Inc()
 		if err := m.TakeException(ExcSysTick); err != nil {
 			return nil, err
 		}
@@ -341,6 +353,7 @@ func (m *Machine) Step() (*Stop, error) {
 		m.Trace(m.CPU.PC, in)
 	}
 	m.pcWritten = false
+	m.mInstr.Inc()
 	execErr := in.Exec(m)
 	cost := in.Cost()
 	m.Meter.Add(cost)

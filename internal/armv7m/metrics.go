@@ -1,0 +1,32 @@
+package armv7m
+
+import "ticktock/internal/metrics"
+
+// excNames maps the exception numbers the machine raises to label
+// values for armv7m_exceptions_total.
+var excNames = map[uint32]string{
+	ExcHardFault: "hardfault",
+	ExcMemManage: "memmanage",
+	ExcSVCall:    "svcall",
+	ExcPendSV:    "pendsv",
+	ExcSysTick:   "systick",
+}
+
+// AttachMetrics wires machine-level instrumentation into a registry:
+// executed-instruction and SysTick-fire counters, per-exception entry
+// counters, and the MPU region-register write counter. The extra labels
+// (typically the kernel flavour) are applied to every series. Metrics
+// observe the cycle meter's world but never charge it — an attached
+// machine is cycle-identical to a bare one. Nil registry is a no-op.
+func (m *Machine) AttachMetrics(reg *metrics.Registry, labels ...metrics.Label) {
+	if reg == nil {
+		return
+	}
+	m.mInstr = reg.Counter("armv7m_instructions_total", labels...)
+	m.mTick = reg.Counter("armv7m_systick_fires_total", labels...)
+	for num, name := range excNames {
+		ls := append(append([]metrics.Label{}, labels...), metrics.L("exc", name))
+		m.mExc[num] = reg.Counter("armv7m_exceptions_total", ls...)
+	}
+	m.MPU.Writes = reg.Counter("armv7m_mpu_region_writes_total", labels...)
+}

@@ -3,6 +3,7 @@ package armv7m
 import (
 	"fmt"
 
+	"ticktock/internal/metrics"
 	"ticktock/internal/mpu"
 )
 
@@ -130,6 +131,10 @@ type MPUHardware struct {
 	// campaign in the paper (§6.1) caught a TCB bug where regions were
 	// written out of order; the log lets tests assert ordering.
 	RegionWriteLog []int
+
+	// Writes counts region-register writes (WriteRegion + ClearRegion)
+	// when metrics are attached; nil-safe.
+	Writes *metrics.Counter
 }
 
 // NewMPUHardware returns a disabled MPU with all regions cleared.
@@ -161,6 +166,7 @@ func (h *MPUHardware) WriteRegion(number int, rbar, rasr uint32) error {
 	h.rbar[number] = rbar & (RBARAddrMask | RBARValid | RBARRegionMask)
 	h.rasr[number] = rasr
 	h.RegionWriteLog = append(h.RegionWriteLog, number)
+	h.Writes.Inc()
 	return nil
 }
 
@@ -172,6 +178,7 @@ func (h *MPUHardware) ClearRegion(number int) error {
 	h.rbar[number] = uint32(number) & RBARRegionMask
 	h.rasr[number] = 0
 	h.RegionWriteLog = append(h.RegionWriteLog, number)
+	h.Writes.Inc()
 	return nil
 }
 

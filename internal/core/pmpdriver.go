@@ -2,6 +2,7 @@ package core
 
 import (
 	"ticktock/internal/cycles"
+	"ticktock/internal/metrics"
 	"ticktock/internal/mpu"
 	"ticktock/internal/riscv"
 	"ticktock/internal/verify"
@@ -88,6 +89,10 @@ func (r PMPRegion) AllowsPermissions(p mpu.Permissions) bool {
 type PMPMPU struct {
 	HW    *riscv.PMP
 	Meter *cycles.Meter
+
+	// Writes counts PMP CSR entry writes (TOR chips cost two per
+	// region) when metrics are attached; nil-safe, charges no cycles.
+	Writes *metrics.Counter
 }
 
 // NewPMPMPU returns a driver over the given PMP unit.
@@ -210,6 +215,7 @@ func (p *PMPMPU) ConfigureMPU(regions []PMPRegion) error {
 		if p.HW.Chip.TORSupported {
 			lo, hi := 2*r.id, 2*r.id+1
 			p.Meter.Add(2 * cycles.MMIO)
+			p.Writes.Add(2)
 			if !r.set {
 				if err := p.HW.SetEntry(lo, 0, 0); err != nil {
 					return err
@@ -228,6 +234,7 @@ func (p *PMPMPU) ConfigureMPU(regions []PMPRegion) error {
 			continue
 		}
 		p.Meter.Add(cycles.MMIO)
+		p.Writes.Inc()
 		if !r.set {
 			if err := p.HW.SetEntry(r.id, 0, 0); err != nil {
 				return err

@@ -22,6 +22,7 @@ import (
 
 	"ticktock/internal/apps"
 	"ticktock/internal/kernel"
+	"ticktock/internal/metrics"
 	"ticktock/internal/monolithic"
 	"ticktock/internal/trace"
 )
@@ -43,6 +44,12 @@ type Config struct {
 	// TraceCapacity bounds each divergence tracer's ring buffer
 	// (0 means trace.DefaultCapacity).
 	TraceCapacity int
+	// Metrics enables per-case metric snapshots: each flavour's run
+	// gets a fresh registry and folded-stack profile, attached to the
+	// Row. Merge them across the campaign with MergeMetrics /
+	// MergeProfiles. Metrics never charge simulated cycles, so a
+	// metered campaign produces byte-identical console outputs.
+	Metrics bool
 }
 
 // Row is one line of the campaign table.
@@ -63,6 +70,12 @@ type Row struct {
 	// Divergence holds the side-by-side event-trace dump captured when
 	// the row's result did not match its expectation.
 	Divergence string
+	// Per-flavour metric snapshots and cycle profiles, populated when
+	// Config.Metrics is set (nil otherwise).
+	TickTockMetrics *metrics.Registry
+	TockMetrics     *metrics.Registry
+	TickTockProfile *metrics.Profile
+	TockProfile     *metrics.Profile
 }
 
 // OK reports whether the row matches its expectation. Errored rows are
@@ -72,8 +85,8 @@ func (r Row) OK() bool { return r.Err == nil && r.Equal != r.ExpectDiff }
 // runOn executes the case on one kernel flavour, optionally under a
 // tracer, and returns the kernel plus the combined output and final
 // states.
-func runOn(tc apps.TestCase, fl kernel.Flavour, bugs monolithic.BugSet, tr *trace.Tracer) (*kernel.Kernel, string, string, error) {
-	k, err := kernel.New(kernel.Options{Flavour: fl, Bugs: bugs, Trace: tr})
+func runOn(tc apps.TestCase, fl kernel.Flavour, bugs monolithic.BugSet, tr *trace.Tracer, reg *metrics.Registry) (*kernel.Kernel, string, string, error) {
+	k, err := kernel.New(kernel.Options{Flavour: fl, Bugs: bugs, Trace: tr, Metrics: reg})
 	if err != nil {
 		return nil, "", "", err
 	}
@@ -92,6 +105,7 @@ func runOn(tc apps.TestCase, fl kernel.Flavour, bugs monolithic.BugSet, tr *trac
 	if _, err := k.Run(quanta); err != nil {
 		return nil, "", "", fmt.Errorf("difftest %s on %s: %w", tc.Name, fl, err)
 	}
+	k.PublishMetrics()
 	var out, states strings.Builder
 	for _, p := range procs {
 		fmt.Fprintf(&out, "[%s] %s", p.Name, k.Output(p))
@@ -105,8 +119,18 @@ func runOn(tc apps.TestCase, fl kernel.Flavour, bugs monolithic.BugSet, tr *trac
 // tracetab CLI and the trace-accounting checks.
 func RunTraced(tc apps.TestCase, fl kernel.Flavour, capacity int) (*kernel.Kernel, *trace.Tracer, error) {
 	tr := trace.New(capacity)
-	k, _, _, err := runOn(tc, fl, monolithic.BugSet{}, tr)
+	k, _, _, err := runOn(tc, fl, monolithic.BugSet{}, tr, nil)
 	return k, tr, err
+}
+
+// RunMeasured executes one case on one flavour with metrics enabled and
+// returns the finished kernel and its registry — the entry point for the
+// profile CLI. The kernel's folded-stack profile is available as
+// k.Profile().
+func RunMeasured(tc apps.TestCase, fl kernel.Flavour) (*kernel.Kernel, *metrics.Registry, error) {
+	reg := metrics.NewRegistry()
+	k, _, _, err := runOn(tc, fl, monolithic.BugSet{}, nil, reg)
+	return k, reg, err
 }
 
 // RunCase executes one case on both flavours with the default config.
@@ -117,15 +141,23 @@ func RunCase(tc apps.TestCase) Row { return RunCaseConfig(tc, Config{}) }
 // divergence trace dump (unless disabled).
 func RunCaseConfig(tc apps.TestCase, cfg Config) Row {
 	row := Row{Name: tc.Name, ExpectDiff: tc.ExpectDiff}
-	_, tt, ttStates, err := runOn(tc, kernel.FlavourTickTock, cfg.Bugs, nil)
+	var ttReg, tkReg *metrics.Registry
+	if cfg.Metrics {
+		ttReg, tkReg = metrics.NewRegistry(), metrics.NewRegistry()
+	}
+	ttK, tt, ttStates, err := runOn(tc, kernel.FlavourTickTock, cfg.Bugs, nil, ttReg)
 	if err != nil {
 		row.Err = err
 		return row
 	}
-	_, tk, tkStates, err := runOn(tc, kernel.FlavourTock, cfg.Bugs, nil)
+	tkK, tk, tkStates, err := runOn(tc, kernel.FlavourTock, cfg.Bugs, nil, tkReg)
 	if err != nil {
 		row.Err = err
 		return row
+	}
+	if cfg.Metrics {
+		row.TickTockMetrics, row.TockMetrics = ttReg, tkReg
+		row.TickTockProfile, row.TockProfile = ttK.Profile(), tkK.Profile()
 	}
 	row.Equal = tt == tk
 	row.TickTock, row.Tock = tt, tk
@@ -142,8 +174,8 @@ func RunCaseConfig(tc apps.TestCase, cfg Config) Row {
 func divergenceDump(tc apps.TestCase, cfg Config) string {
 	ttTr := trace.New(cfg.TraceCapacity)
 	tkTr := trace.New(cfg.TraceCapacity)
-	_, _, _, ttErr := runOn(tc, kernel.FlavourTickTock, cfg.Bugs, ttTr)
-	_, _, _, tkErr := runOn(tc, kernel.FlavourTock, cfg.Bugs, tkTr)
+	_, _, _, ttErr := runOn(tc, kernel.FlavourTickTock, cfg.Bugs, ttTr, nil)
+	_, _, _, tkErr := runOn(tc, kernel.FlavourTock, cfg.Bugs, tkTr, nil)
 	var b strings.Builder
 	if ttErr != nil || tkErr != nil {
 		fmt.Fprintf(&b, "trace re-run errors: ticktock=%v tock=%v\n", ttErr, tkErr)
@@ -185,6 +217,32 @@ func RunAllConfig(cfg Config) []Row {
 	close(idx)
 	wg.Wait()
 	return rows
+}
+
+// MergeMetrics folds every row's per-flavour registries into one
+// campaign-wide registry — the snapshot-then-merge pattern that lets the
+// worker pool record without shared-registry contention. Rows without
+// metrics (errored, or Config.Metrics off) contribute nothing.
+func MergeMetrics(rows []Row) *metrics.Registry {
+	out := metrics.NewRegistry()
+	for _, r := range rows {
+		out.Merge(r.TickTockMetrics)
+		out.Merge(r.TockMetrics)
+	}
+	return out
+}
+
+// MergeProfiles folds every row's per-flavour cycle profiles into one
+// campaign-wide folded-stack profile. Because each per-case profile sums
+// to its kernel's cycle meter, the merged total is the campaign's total
+// simulated cycles.
+func MergeProfiles(rows []Row) *metrics.Profile {
+	out := metrics.NewProfile()
+	for _, r := range rows {
+		out.Merge(r.TickTockProfile)
+		out.Merge(r.TockProfile)
+	}
+	return out
 }
 
 // Summary tallies a campaign result.

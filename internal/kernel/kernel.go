@@ -5,6 +5,7 @@ import (
 
 	"ticktock/internal/armv7m"
 	"ticktock/internal/cycles"
+	"ticktock/internal/metrics"
 	"ticktock/internal/monolithic"
 	"ticktock/internal/tbf"
 	"ticktock/internal/trace"
@@ -92,6 +93,14 @@ type Options struct {
 	// meter but never charges it, so traced runs report the same
 	// Figure 11/12 numbers as untraced ones.
 	Trace *trace.Tracer
+	// Metrics, when non-nil, receives kernel metrics: per-class syscall
+	// counters and cycle histograms, context-switch/fault/restart
+	// counters, per-method cycle histograms, machine-level instruction
+	// and exception counts, and the folded-stack cycle profile
+	// (Kernel.Profile). Like tracing, metrics observe the cycle meter
+	// but never charge it — a metered run is cycle-identical to an
+	// unmetered one.
+	Metrics *metrics.Registry
 }
 
 // DefaultTimeslice matches a 10 ms quantum at the modelled clock.
@@ -134,6 +143,25 @@ type Kernel struct {
 
 	// tracer, when non-nil, records kernel events (Options.Trace).
 	tracer *trace.Tracer
+
+	// Metrics is the attached registry (Options.Metrics; nil when
+	// metrics are disabled). A single kernel runs single-threaded, so
+	// the cached instrument handles below need no locking; the registry
+	// itself is goroutine-safe and may be shared across campaign
+	// kernels.
+	Metrics *metrics.Registry
+
+	// prof attributes every simulated cycle to a folded stack
+	// (flavour;process;window). Non-nil exactly when Metrics is.
+	prof        *metrics.Profile
+	flavourName string
+	mSyscalls   [8]*metrics.Counter
+	mSyscallCyc [8]*metrics.Histogram
+	mSwitches   *metrics.Counter
+	mFaults     *metrics.Counter
+	mRestarts   *metrics.Counter
+	mMPU        *metrics.Histogram
+	methodHist  map[string]*metrics.Histogram
 }
 
 // New boots a kernel on a fresh board.
@@ -152,6 +180,23 @@ func New(opts Options) (*Kernel, error) {
 		poolCursor: ProcessPoolBase,
 		output:     make(map[int][]byte),
 		tracer:     opts.Trace,
+	}
+	if opts.Metrics != nil {
+		k.Metrics = opts.Metrics
+		k.prof = metrics.NewProfile()
+		k.flavourName = opts.Flavour.String()
+		fl := metrics.L("flavour", k.flavourName)
+		for i := range k.mSyscalls {
+			cl := metrics.L("class", SVCName(uint8(i)))
+			k.mSyscalls[i] = opts.Metrics.Counter("ticktock_syscalls_total", fl, cl)
+			k.mSyscallCyc[i] = opts.Metrics.Histogram("ticktock_syscall_cycles", fl, cl)
+		}
+		k.mSwitches = opts.Metrics.Counter("ticktock_context_switches_total", fl)
+		k.mFaults = opts.Metrics.Counter("ticktock_faults_total", fl)
+		k.mRestarts = opts.Metrics.Counter("ticktock_restarts_total", fl)
+		k.mMPU = opts.Metrics.Histogram("ticktock_mpu_reconfigure_cycles", fl)
+		k.methodHist = make(map[string]*metrics.Histogram)
+		b.Machine.AttachMetrics(opts.Metrics, fl)
 	}
 	if k.tracer != nil {
 		m := b.Machine
@@ -202,8 +247,66 @@ func (k *Kernel) Meter() *cycles.Meter { return k.Board.Meter }
 func (k *Kernel) instrument(method string, f func() error) error {
 	start := k.Meter().Cycles()
 	err := f()
-	k.Stats.Record(method, k.Meter().Cycles()-start)
+	d := k.Meter().Cycles() - start
+	k.Stats.Record(method, d)
+	if k.Metrics != nil {
+		h := k.methodHist[method]
+		if h == nil {
+			h = k.Metrics.Histogram("ticktock_method_cycles",
+				metrics.L("flavour", k.flavourName), metrics.L("method", method))
+			k.methodHist[method] = h
+		}
+		h.Observe(d)
+	}
 	return err
+}
+
+// attr charges the cycles elapsed since start to a folded-stack window
+// under the process (or the kernel when p is nil). The windows in
+// RunOnce and LoadProcess are disjoint and cover every cycle-charging
+// path, so Profile can close the books with a single residue sample.
+func (k *Kernel) attr(start uint64, p *Process, window string) {
+	if k.prof == nil {
+		return
+	}
+	d := k.Meter().Cycles() - start
+	if d == 0 {
+		return
+	}
+	name := "kernel"
+	if p != nil {
+		name = p.Name
+	}
+	k.prof.Add(d, k.flavourName, name, window)
+}
+
+// Profile returns a copy of the folded-stack cycle profile with the
+// still-unattributed residue (cycles charged outside the instrumented
+// windows, e.g. by direct driver calls in tests) booked under
+// `flavour;kernel;unattributed`, so that the profile's Total always
+// equals the machine's cycle meter. Returns nil when metrics are off.
+func (k *Kernel) Profile() *metrics.Profile {
+	if k.prof == nil {
+		return nil
+	}
+	out := metrics.NewProfile()
+	out.Merge(k.prof)
+	if total, attributed := k.Meter().Cycles(), out.Total(); attributed < total {
+		out.Add(total-attributed, k.flavourName, "kernel", "unattributed")
+	}
+	return out
+}
+
+// PublishMetrics copies end-of-run aggregates into the attached
+// registry: the Figure 11 per-method call/cycle totals (as
+// ticktock_method_calls_total / ticktock_method_cycles_total) and the
+// context-switch count already stream live. Call it once when the run
+// being exported is complete; no-op without metrics.
+func (k *Kernel) PublishMetrics() {
+	if k.Metrics == nil {
+		return
+	}
+	k.Stats.Publish(k.Metrics, k.flavourName)
 }
 
 // newMM builds the flavour-appropriate memory manager.
@@ -220,6 +323,8 @@ func (k *Kernel) newMM() MemoryManager {
 // of Figure 11.
 func (k *Kernel) LoadProcess(app App) (*Process, error) {
 	var proc *Process
+	t0 := k.Meter().Cycles()
+	defer func() { k.attr(t0, nil, "create") }()
 	err := k.instrument("create", func() error {
 		// Size the image: assemble once at a probe base to count
 		// instructions (branch targets are absolute, so the final
@@ -378,9 +483,11 @@ func (k *Kernel) schedule() *Process {
 // restore, privilege drop and exception return. The MissedModeSwitch bug
 // omits the privilege drop, faithfully reproducing tock#4246.
 func (k *Kernel) switchToProcess(p *Process) error {
+	t0 := k.Meter().Cycles()
 	if err := k.instrument("setup_mpu", p.MM.ConfigureMPU); err != nil {
 		return err
 	}
+	k.mMPU.Observe(k.Meter().Cycles() - t0)
 	k.emit(trace.KindMPUConfig, p, 0, 0, "")
 	m := k.Board.Machine
 	if k.Opts.Scheduler == SchedCooperative {
@@ -416,7 +523,9 @@ func (k *Kernel) saveProcessContext(p *Process) {
 // RunOnce schedules and runs a single process quantum, handling whatever
 // stopped it. It reports whether any process ran.
 func (k *Kernel) RunOnce() (bool, error) {
+	t0 := k.Meter().Cycles()
 	p := k.schedule()
+	k.attr(t0, nil, "schedule")
 	if p == nil {
 		// If everyone is sleeping on an alarm, advance time to the
 		// earliest wake.
@@ -432,38 +541,54 @@ func (k *Kernel) RunOnce() (bool, error) {
 		now := k.Meter().Cycles()
 		if earliest > now {
 			k.Meter().Add(earliest - now) // the WFI idle loop burning cycles
+			k.attr(now, nil, "idle")
 		}
 		return true, nil
 	}
 
+	t0 = k.Meter().Cycles()
 	if err := k.switchToProcess(p); err != nil {
 		return false, fmt.Errorf("kernel: switching to %s: %w", p.Name, err)
 	}
+	k.attr(t0, p, "switch")
+	t0 = k.Meter().Cycles()
 	stop, err := k.Board.Machine.Run(0)
 	if err != nil {
 		return false, fmt.Errorf("kernel: running %s: %w", p.Name, err)
 	}
+	k.attr(t0, p, "user")
 	k.Switches++
+	k.mSwitches.Inc()
 	k.emit(trace.KindContextSwitch, p, k.Switches, 0, stop.Reason.String())
 
+	t0 = k.Meter().Cycles()
 	switch stop.Reason {
 	case armv7m.StopPreempted:
 		k.emit(trace.KindSysTick, p, 0, 0, "")
 		k.saveProcessContext(p)
+		k.attr(t0, p, "preempt")
 	case armv7m.StopSyscall:
 		k.saveProcessContext(p)
-		if err := k.handleSyscall(p, stop.SVCNum); err != nil {
+		err := k.handleSyscall(p, stop.SVCNum)
+		if n := int(stop.SVCNum); n < len(k.mSyscalls) {
+			k.mSyscalls[n].Inc()
+			k.mSyscallCyc[n].Observe(k.Meter().Cycles() - t0)
+		}
+		k.attr(t0, p, svcWindow(stop.SVCNum))
+		if err != nil {
 			return false, err
 		}
 	case armv7m.StopFault:
 		k.saveProcessContext(p)
 		k.faultProcess(p, stop.Fault)
+		k.attr(t0, p, "fault")
 	case armv7m.StopIdle:
 		// WFI outside an exception: treat as a clean exit; there is no
 		// stacked frame to resume from.
 		k.Board.Machine.Tick.Disarm()
 		p.MM.DisableMPU()
 		p.State = StateExited
+		k.attr(t0, p, "exit")
 	default:
 		return false, fmt.Errorf("kernel: unexpected stop %v", stop.Reason)
 	}
@@ -502,6 +627,7 @@ func (k *Kernel) Run(maxQuanta int) (int, error) {
 func (k *Kernel) faultProcess(p *Process, cause error) {
 	p.State = StateFaulted
 	p.FaultReason = fmt.Sprint(cause)
+	k.mFaults.Inc()
 	k.emit(trace.KindFault, p, 0, 0, p.FaultReason)
 	k.appendOutput(p, fmt.Sprintf("panic: process %s faulted: %v\n", p.Name, cause))
 	if f := k.Board.Machine.Fault; f.Valid {
@@ -521,6 +647,7 @@ func (k *Kernel) faultProcess(p *Process, cause error) {
 				return
 			}
 			p.Restarts++
+			k.mRestarts.Inc()
 			k.emit(trace.KindRestart, p, uint64(p.Restarts), 0, "")
 			k.appendOutput(p, fmt.Sprintf("restarting %s (attempt %d/%d)\n", p.Name, p.Restarts, maxR))
 		}

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"ticktock/internal/metrics"
 )
 
 // MethodStat aggregates instrumented cycle counts for one kernel method —
@@ -22,48 +24,61 @@ func (s MethodStat) Mean() float64 {
 	return float64(s.Cycles) / float64(s.Count)
 }
 
-// Stats collects per-method cycle counts. All methods are goroutine-safe,
-// so parallel campaigns can Merge worker kernels' stats and the tracer's
-// counter mirror can be compared against a still-running collector.
+// methodCounters is the per-method pair of sharded atomic counters.
+type methodCounters struct {
+	count  metrics.Counter
+	cycles metrics.Counter
+}
+
+// Stats collects per-method cycle counts. Record is the kernel's hottest
+// instrumentation call (every setup_mpu, brk and grant passes through
+// it), so it runs on sharded atomic counters (metrics.Counter): after a
+// method's first recording the path is lock-free and allocation-free —
+// no mutex, unlike the original map-under-mutex collector. All methods
+// remain goroutine-safe, so parallel campaigns can Merge worker kernels'
+// stats and the tracer's counter mirror can be compared against a
+// still-running collector.
 type Stats struct {
-	mu      sync.Mutex
-	methods map[string]*MethodStat
+	methods sync.Map // method name -> *methodCounters
 }
 
 // NewStats returns an empty collector.
-func NewStats() *Stats { return &Stats{methods: make(map[string]*MethodStat)} }
+func NewStats() *Stats { return &Stats{} }
 
-// Record adds one timed invocation.
-func (s *Stats) Record(method string, cyc uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, ok := s.methods[method]
-	if !ok {
-		st = &MethodStat{}
-		s.methods[method] = st
+// counters returns the method's counter pair, creating it on first use.
+func (s *Stats) counters(method string) *methodCounters {
+	if v, ok := s.methods.Load(method); ok {
+		return v.(*methodCounters)
 	}
-	st.Count++
-	st.Cycles += cyc
+	v, _ := s.methods.LoadOrStore(method, &methodCounters{})
+	return v.(*methodCounters)
+}
+
+// Record adds one timed invocation. Lock-free after the method's first
+// recording.
+func (s *Stats) Record(method string, cyc uint64) {
+	mc := s.counters(method)
+	mc.count.Inc()
+	mc.cycles.Add(cyc)
 }
 
 // Get returns the stat for a method (zero value if never recorded).
 func (s *Stats) Get(method string) MethodStat {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if st, ok := s.methods[method]; ok {
-		return *st
+	v, ok := s.methods.Load(method)
+	if !ok {
+		return MethodStat{}
 	}
-	return MethodStat{}
+	mc := v.(*methodCounters)
+	return MethodStat{Count: mc.count.Value(), Cycles: mc.cycles.Value()}
 }
 
 // Methods returns the recorded method names, sorted.
 func (s *Stats) Methods() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]string, 0, len(s.methods))
-	for m := range s.methods {
-		out = append(out, m)
-	}
+	var out []string
+	s.methods.Range(func(k, _ any) bool {
+		out = append(out, k.(string))
+		return true
+	})
 	sort.Strings(out)
 	return out
 }
@@ -78,31 +93,42 @@ func (s *Stats) String() string {
 	return b.String()
 }
 
-// snapshot copies the collector's state under its own lock, so Merge
-// never holds two Stats locks at once (no lock-order deadlocks when two
-// collectors merge into each other concurrently).
+// snapshot copies the collector's state. Reads are atomic per counter,
+// so a snapshot taken during a concurrent Record sees each method's
+// totals at some point during the call — the same guarantee the old
+// mutex gave across Merge.
 func (s *Stats) snapshot() map[string]MethodStat {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make(map[string]MethodStat, len(s.methods))
-	for m, st := range s.methods {
-		out[m] = *st
-	}
+	out := map[string]MethodStat{}
+	s.methods.Range(func(k, v any) bool {
+		mc := v.(*methodCounters)
+		out[k.(string)] = MethodStat{Count: mc.count.Value(), Cycles: mc.cycles.Value()}
+		return true
+	})
 	return out
 }
 
 // Merge folds another collector's counts into this one.
 func (s *Stats) Merge(o *Stats) {
-	snap := o.snapshot()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for m, st := range snap {
-		cur, ok := s.methods[m]
-		if !ok {
-			cur = &MethodStat{}
-			s.methods[m] = cur
-		}
-		cur.Count += st.Count
-		cur.Cycles += st.Cycles
+	for m, st := range o.snapshot() {
+		mc := s.counters(m)
+		mc.count.Add(st.Count)
+		mc.cycles.Add(st.Cycles)
+	}
+}
+
+// Publish copies the collector's current totals into a metrics registry
+// as `ticktock_method_calls_total` / `ticktock_method_cycles_total`
+// counter series, labelled with the kernel flavour — the bridge between
+// the Figure 11 collector and the Prometheus exporter. Publish is a
+// snapshot, not a live feed: call it when the run (or campaign slice)
+// being exported is complete. Nil-safe on the registry.
+func (s *Stats) Publish(reg *metrics.Registry, flavour string) {
+	if reg == nil {
+		return
+	}
+	for m, st := range s.snapshot() {
+		labels := []metrics.Label{metrics.L("flavour", flavour), metrics.L("method", m)}
+		reg.Counter("ticktock_method_calls_total", labels...).Add(st.Count)
+		reg.Counter("ticktock_method_cycles_total", labels...).Add(st.Cycles)
 	}
 }

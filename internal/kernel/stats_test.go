@@ -1,0 +1,76 @@
+package kernel
+
+import (
+	"testing"
+
+	"ticktock/internal/metrics"
+)
+
+func TestStatsMergeAcrossCollectors(t *testing.T) {
+	a, b := NewStats(), NewStats()
+	a.Record("setup_mpu", 100)
+	a.Record("setup_mpu", 200)
+	b.Record("setup_mpu", 50)
+	b.Record("brk", 10)
+	a.Merge(b)
+	if st := a.Get("setup_mpu"); st.Count != 3 || st.Cycles != 350 {
+		t.Fatalf("setup_mpu after merge: %+v", st)
+	}
+	if st := a.Get("brk"); st.Count != 1 || st.Cycles != 10 {
+		t.Fatalf("brk after merge: %+v", st)
+	}
+	// The source must be untouched.
+	if st := b.Get("setup_mpu"); st.Count != 1 {
+		t.Fatalf("merge mutated source: %+v", st)
+	}
+}
+
+func TestStatsPublish(t *testing.T) {
+	s := NewStats()
+	s.Record("create", 1000)
+	s.Record("create", 3000)
+	reg := metrics.NewRegistry()
+	s.Publish(reg, "ticktock")
+	labels := []metrics.Label{metrics.L("flavour", "ticktock"), metrics.L("method", "create")}
+	if got := reg.Counter("ticktock_method_calls_total", labels...).Value(); got != 2 {
+		t.Fatalf("published calls = %d", got)
+	}
+	if got := reg.Counter("ticktock_method_cycles_total", labels...).Value(); got != 4000 {
+		t.Fatalf("published cycles = %d", got)
+	}
+	s.Publish(nil, "ticktock") // nil registry must be a no-op
+}
+
+// TestStatsRecordDoesNotAllocate pins the hot-path property the sharded
+// rewrite exists for: after a method's first recording, Record is
+// allocation-free.
+func TestStatsRecordDoesNotAllocate(t *testing.T) {
+	s := NewStats()
+	s.Record("setup_mpu", 1) // warm the method's counter pair
+	if n := testing.AllocsPerRun(1000, func() {
+		s.Record("setup_mpu", 123)
+	}); n != 0 {
+		t.Fatalf("Stats.Record allocates %.1f objects/op after warm-up", n)
+	}
+}
+
+func BenchmarkStatsRecord(b *testing.B) {
+	s := NewStats()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Record("setup_mpu", uint64(i))
+	}
+}
+
+func BenchmarkStatsRecordParallel(b *testing.B) {
+	s := NewStats()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			s.Record("setup_mpu", 7)
+		}
+	})
+	if st := s.Get("setup_mpu"); st.Count != uint64(b.N) {
+		b.Fatalf("lost updates: %d != %d", st.Count, b.N)
+	}
+}

@@ -69,6 +69,27 @@ func SVCName(svcNum uint8) string {
 	}
 }
 
+// svcWindows are the precomputed folded-stack window names for each
+// syscall class, so the profile hot path never concatenates strings.
+var svcWindows = [8]string{
+	SVCYield:      "syscall/yield",
+	SVCCommand:    "syscall/command",
+	SVCAllowRW:    "syscall/allow-rw",
+	SVCAllowRO:    "syscall/allow-ro",
+	SVCMemop:      "syscall/memop",
+	SVCExit:       "syscall/exit",
+	SVCSubscribe:  "syscall/subscribe",
+	SVCUpcallDone: "syscall/upcall-done",
+}
+
+// svcWindow returns the profile window name for a syscall class.
+func svcWindow(svcNum uint8) string {
+	if int(svcNum) < len(svcWindows) {
+		return svcWindows[svcNum]
+	}
+	return "syscall/" + SVCName(svcNum)
+}
+
 // syscallServiceCycles is the flavour-independent cost of servicing a
 // syscall inside the kernel — argument unstacking, process-table lookup,
 // capability checks and the return path. The paper's measurement hooks

@@ -1,0 +1,214 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ExportPrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): one `# TYPE` line per metric family, series
+// sorted by ID, histograms as cumulative `_bucket{le=...}` series plus
+// `_sum` and `_count`. Output is deterministic for a given registry
+// state. Nil-safe: a nil registry writes nothing.
+func (r *Registry) ExportPrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+
+	// Group counter and gauge series by family so each family gets
+	// exactly one TYPE line; series within a family stay ID-sorted.
+	type family struct {
+		name string
+		typ  string
+		rows []string
+	}
+	byName := map[string]*family{}
+	var order []string
+	add := func(name, typ, row string) {
+		f, ok := byName[name]
+		if !ok {
+			f = &family{name: name, typ: typ}
+			byName[name] = f
+			order = append(order, name)
+		}
+		f.rows = append(f.rows, row)
+	}
+	for _, cp := range snap.Counters {
+		add(cp.Name, "counter", fmt.Sprintf("%s %d", cp.ID, cp.Value))
+	}
+	for _, gp := range snap.Gauges {
+		add(gp.Name, "gauge", fmt.Sprintf("%s %d", gp.ID, gp.Value))
+	}
+	for _, hp := range snap.Histograms {
+		// Cumulative buckets up to the highest non-empty one, then +Inf.
+		top := 0
+		for i := 0; i < NumBuckets; i++ {
+			if hp.Buckets[i] != 0 {
+				top = i
+			}
+		}
+		var cum uint64
+		for i := 0; i <= top; i++ {
+			cum += hp.Buckets[i]
+			add(hp.Name, "histogram", fmt.Sprintf("%s %d",
+				bucketSeriesID(hp.Name, hp.Labels, strconv.FormatUint(BucketUpperBound(i), 10)), cum))
+		}
+		add(hp.Name, "histogram", fmt.Sprintf("%s %d",
+			bucketSeriesID(hp.Name, hp.Labels, "+Inf"), hp.Count))
+		add(hp.Name, "histogram", fmt.Sprintf("%s %d", seriesID(hp.Name+"_sum", hp.Labels), hp.Sum))
+		add(hp.Name, "histogram", fmt.Sprintf("%s %d", seriesID(hp.Name+"_count", hp.Labels), hp.Count))
+	}
+
+	sort.Strings(order)
+	for _, name := range order {
+		f := byName[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		for _, row := range f.rows {
+			if _, err := fmt.Fprintln(w, row); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// bucketSeriesID renders a histogram bucket series ID with the `le`
+// label appended after the instrument's own (sorted) labels.
+func bucketSeriesID(name string, labels []Label, le string) string {
+	all := append(append([]Label(nil), labels...), Label{Key: "le", Value: le})
+	return seriesID(name+"_bucket", all)
+}
+
+// ParsePrometheus reads Prometheus text exposition format and returns
+// every sample as seriesID -> value. Comment and blank lines are
+// skipped. It understands exactly the subset ExportPrometheus emits
+// (series with optional label sets and integer/float values), which is
+// all the round-trip tests need.
+func ParsePrometheus(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		// The value is the field after the series ID; the ID may contain
+		// spaces only inside quoted label values, so scan for the closing
+		// brace first.
+		var id, val string
+		if i := strings.Index(text, "}"); i >= 0 {
+			id = text[:i+1]
+			val = strings.TrimSpace(text[i+1:])
+		} else {
+			fields := strings.Fields(text)
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("metrics: parse line %d: want 'series value', got %q", line, text)
+			}
+			id, val = fields[0], fields[1]
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: parse line %d: bad value %q: %v", line, val, err)
+		}
+		if _, dup := out[id]; dup {
+			return nil, fmt.Errorf("metrics: parse line %d: duplicate series %s", line, id)
+		}
+		out[id] = f
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ExportTable writes the registry as an aligned human-readable table:
+// counters and gauges one per line, histograms with count, mean, p50,
+// p99 and max columns. Deterministic ordering. Nil-safe: a nil registry
+// writes only the headers.
+func (r *Registry) ExportTable(w io.Writer) error {
+	snap := r.Snapshot()
+
+	width := 40
+	for _, cp := range snap.Counters {
+		if len(cp.ID) > width {
+			width = len(cp.ID)
+		}
+	}
+	for _, gp := range snap.Gauges {
+		if len(gp.ID) > width {
+			width = len(gp.ID)
+		}
+	}
+	for _, hp := range snap.Histograms {
+		if len(hp.ID) > width {
+			width = len(hp.ID)
+		}
+	}
+
+	if len(snap.Counters) > 0 || len(snap.Gauges) > 0 {
+		if _, err := fmt.Fprintf(w, "%-*s %14s\n", width, "counter", "value"); err != nil {
+			return err
+		}
+		for _, cp := range snap.Counters {
+			if _, err := fmt.Fprintf(w, "%-*s %14d\n", width, cp.ID, cp.Value); err != nil {
+				return err
+			}
+		}
+		for _, gp := range snap.Gauges {
+			if _, err := fmt.Fprintf(w, "%-*s %14d\n", width, gp.ID, gp.Value); err != nil {
+				return err
+			}
+		}
+	}
+	if len(snap.Histograms) > 0 {
+		if _, err := fmt.Fprintf(w, "%-*s %10s %12s %12s %12s %12s\n",
+			width, "histogram", "count", "mean", "p50", "p99", "max"); err != nil {
+			return err
+		}
+		for _, hp := range snap.Histograms {
+			mean := 0.0
+			if hp.Count > 0 {
+				mean = float64(hp.Sum) / float64(hp.Count)
+			}
+			if _, err := fmt.Fprintf(w, "%-*s %10d %12.1f %12d %12d %12d\n",
+				width, hp.ID, hp.Count, mean, quantilePoint(hp, 0.5), quantilePoint(hp, 0.99), hp.Max); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// quantilePoint estimates a quantile from a snapshotted histogram the
+// same way Histogram.Quantile does on a live one.
+func quantilePoint(hp HistogramPoint, q float64) uint64 {
+	if hp.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(hp.Count))
+	if rank >= hp.Count {
+		rank = hp.Count - 1
+	}
+	var cum uint64
+	for i := 0; i < NumBuckets; i++ {
+		cum += hp.Buckets[i]
+		if cum > rank {
+			return BucketUpperBound(i)
+		}
+	}
+	return BucketUpperBound(NumBuckets - 1)
+}
+
+// TableDump renders ExportTable into a string.
+func (r *Registry) TableDump() string {
+	var b strings.Builder
+	_ = r.ExportTable(&b)
+	return b.String()
+}

@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildSample populates a registry with one of everything.
+func buildSample() *Registry {
+	r := NewRegistry()
+	r.Counter("ticktock_syscalls_total", L("flavour", "ticktock"), L("class", "command")).Add(17)
+	r.Counter("ticktock_syscalls_total", L("flavour", "ticktock"), L("class", "yield")).Add(4)
+	r.Counter("ticktock_context_switches_total", L("flavour", "ticktock")).Add(21)
+	r.Gauge("ticktock_processes").Set(3)
+	h := r.Histogram("ticktock_syscall_cycles", L("flavour", "ticktock"), L("class", "command"))
+	for _, v := range []uint64{0, 1, 100, 100, 5000} {
+		h.Observe(v)
+	}
+	return r
+}
+
+func TestPrometheusExportIsDeterministic(t *testing.T) {
+	r := buildSample()
+	var a, b strings.Builder
+	if err := r.ExportPrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ExportPrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two exports of the same registry differ")
+	}
+	// Families must be TYPE-annotated exactly once and series sorted.
+	out := a.String()
+	if strings.Count(out, "# TYPE ticktock_syscalls_total counter") != 1 {
+		t.Fatalf("TYPE lines wrong:\n%s", out)
+	}
+	cmdIdx := strings.Index(out, `class="command"`)
+	yieldIdx := strings.Index(out, `class="yield"`)
+	if cmdIdx < 0 || yieldIdx < 0 || cmdIdx > yieldIdx {
+		t.Fatalf("series not sorted:\n%s", out)
+	}
+}
+
+func TestPrometheusRoundTrip(t *testing.T) {
+	r := buildSample()
+	var b strings.Builder
+	if err := r.ExportPrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParsePrometheus(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("parsing our own export: %v\n%s", err, b.String())
+	}
+	snap := r.Snapshot()
+	for _, cp := range snap.Counters {
+		if got, ok := parsed[cp.ID]; !ok || got != float64(cp.Value) {
+			t.Errorf("counter %s: parsed %v (present=%v), want %d", cp.ID, got, ok, cp.Value)
+		}
+	}
+	for _, gp := range snap.Gauges {
+		if got, ok := parsed[gp.ID]; !ok || got != float64(gp.Value) {
+			t.Errorf("gauge %s: parsed %v, want %d", gp.ID, got, gp.Value)
+		}
+	}
+	for _, hp := range snap.Histograms {
+		if got := parsed[seriesID(hp.Name+"_count", hp.Labels)]; got != float64(hp.Count) {
+			t.Errorf("histogram %s count: parsed %v, want %d", hp.ID, got, hp.Count)
+		}
+		if got := parsed[seriesID(hp.Name+"_sum", hp.Labels)]; got != float64(hp.Sum) {
+			t.Errorf("histogram %s sum: parsed %v, want %d", hp.ID, got, hp.Sum)
+		}
+		if got := parsed[bucketSeriesID(hp.Name, hp.Labels, "+Inf")]; got != float64(hp.Count) {
+			t.Errorf("histogram %s +Inf bucket: parsed %v, want %d", hp.ID, got, hp.Count)
+		}
+	}
+}
+
+func TestPrometheusBucketsAreCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	h.Observe(1)   // bucket 1 (le 1)
+	h.Observe(3)   // bucket 2 (le 3)
+	h.Observe(3)   //
+	h.Observe(100) // bucket 7 (le 127)
+	var b strings.Builder
+	if err := r.ExportPrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParsePrometheus(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		`lat_bucket{le="1"}`:    1,
+		`lat_bucket{le="3"}`:    3,
+		`lat_bucket{le="127"}`:  4,
+		`lat_bucket{le="+Inf"}`: 4,
+	}
+	for id, v := range want {
+		if parsed[id] != v {
+			t.Errorf("%s = %v, want %v\n%s", id, parsed[id], v, b.String())
+		}
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", L("msg", "a\"b\\c\nd")).Add(1)
+	var b strings.Builder
+	if err := r.ExportPrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParsePrometheus(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("escaped export did not parse: %v\n%q", err, b.String())
+	}
+	if len(parsed) != 1 {
+		t.Fatalf("parsed %d series", len(parsed))
+	}
+}
+
+func TestExportTable(t *testing.T) {
+	r := buildSample()
+	out := r.TableDump()
+	for _, want := range []string{"counter", "value", "histogram", "p99",
+		`ticktock_context_switches_total{flavour="ticktock"} `, "21"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if out != r.TableDump() {
+		t.Fatal("table export is not deterministic")
+	}
+}
+
+func TestParsePrometheusRejectsGarbage(t *testing.T) {
+	if _, err := ParsePrometheus(strings.NewReader("a b c\n")); err == nil {
+		t.Fatal("three-field line accepted")
+	}
+	if _, err := ParsePrometheus(strings.NewReader("m notanumber\n")); err == nil {
+		t.Fatal("non-numeric value accepted")
+	}
+	if _, err := ParsePrometheus(strings.NewReader("m 1\nm 2\n")); err == nil {
+		t.Fatal("duplicate series accepted")
+	}
+}

@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Profile is a folded-stack cycle profile: each sample is a
+// semicolon-joined frame path (`flavour;process;syscall/command`) with
+// an accumulated weight in simulated cycles — the exact input format of
+// flamegraph.pl, inferno and speedscope. The kernels attribute every
+// simulated cycle to a path, so a profile's Total equals the machine's
+// cycle meter (the folded-stack invariant the difftest suite enforces).
+//
+// A nil *Profile is a valid disabled profile: every method no-ops.
+type Profile struct {
+	mu      sync.Mutex
+	samples map[string]uint64
+}
+
+// NewProfile returns an empty profile.
+func NewProfile() *Profile {
+	return &Profile{samples: make(map[string]uint64)}
+}
+
+// Add accumulates weight under the joined frame path. Zero weights are
+// dropped (an empty window is not a sample). Nil-safe.
+func (p *Profile) Add(weight uint64, frames ...string) {
+	if p == nil || weight == 0 || len(frames) == 0 {
+		return
+	}
+	p.AddStack(strings.Join(frames, ";"), weight)
+}
+
+// AddStack accumulates weight under an already-joined stack string.
+// Nil-safe.
+func (p *Profile) AddStack(stack string, weight uint64) {
+	if p == nil || weight == 0 || stack == "" {
+		return
+	}
+	p.mu.Lock()
+	p.samples[stack] += weight
+	p.mu.Unlock()
+}
+
+// Total returns the sum of all sample weights. Nil-safe (returns 0).
+func (p *Profile) Total() uint64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var sum uint64
+	for _, w := range p.samples {
+		sum += w
+	}
+	return sum
+}
+
+// Samples returns a copy of the stack -> weight map. Nil-safe (returns
+// nil).
+func (p *Profile) Samples() map[string]uint64 {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]uint64, len(p.samples))
+	for s, w := range p.samples {
+		out[s] = w
+	}
+	return out
+}
+
+// Merge folds another profile's samples into this one. The other
+// profile is snapshotted under its own lock first. Nil-safe on both
+// sides.
+func (p *Profile) Merge(o *Profile) {
+	if p == nil || o == nil {
+		return
+	}
+	for s, w := range o.Samples() {
+		p.AddStack(s, w)
+	}
+}
+
+// ExportFolded writes the profile in folded-stack format, one
+// `frame;frame;frame weight` line per stack, sorted by stack for
+// deterministic output. Feed it to `flamegraph.pl` or paste into
+// speedscope. Nil-safe: a nil profile writes nothing.
+func (p *Profile) ExportFolded(w io.Writer) error {
+	for _, line := range p.FoldedLines() {
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FoldedLines returns the sorted folded-stack lines. Nil-safe.
+func (p *Profile) FoldedLines() []string {
+	samples := p.Samples()
+	stacks := make([]string, 0, len(samples))
+	for s := range samples {
+		stacks = append(stacks, s)
+	}
+	sort.Strings(stacks)
+	out := make([]string, 0, len(stacks))
+	for _, s := range stacks {
+		out = append(out, fmt.Sprintf("%s %d", s, samples[s]))
+	}
+	return out
+}
+
+// FoldedDump renders ExportFolded into a string.
+func (p *Profile) FoldedDump() string {
+	var b strings.Builder
+	_ = p.ExportFolded(&b)
+	return b.String()
+}

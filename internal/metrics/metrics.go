@@ -1,0 +1,295 @@
+// Package metrics is the unified measurement layer of TickTock-Go: a
+// registry of named, labelled instruments — atomic counters, gauges and
+// log2-bucketed cycle histograms — plus exporters (Prometheus text
+// exposition, an aligned human table, and a flamegraph-compatible
+// folded-stack cycle profile in folded.go).
+//
+// Where internal/trace answers "what happened, in what order", this
+// package answers "how much, how often, how long". The two share the
+// same design constraints, in order:
+//
+//  1. Zero simulated cost. Instruments observe the cycle meter but never
+//     charge it: a metered run reports exactly the same Figure 11/12
+//     numbers as an unmetered one (the ablation benchmark enforces
+//     this).
+//  2. Nil safety. Every method on a nil *Registry, *Counter, *Gauge,
+//     *Histogram or *Profile is a no-op (or returns a zero value), so
+//     instrumentation sites need no guards and metrics are disabled by
+//     default simply by not attaching a registry.
+//  3. Allocation-free hot path. Record sites hold instrument pointers;
+//     Counter.Add and Histogram.Observe perform only atomic operations
+//     on preallocated state — no maps, no locks, no allocations.
+//  4. Goroutine safety. Parallel campaigns record into shared registries
+//     concurrently; counters are sharded across cache lines to keep
+//     contended Add cheap, and Merge folds worker registries without
+//     ever holding two registry locks at once.
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"unsafe"
+)
+
+// numShards stripes each counter across cache lines. Must be a power of
+// two.
+const numShards = 8
+
+// shard is one cache-line-padded counter cell (64-byte lines).
+type shard struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// shardIndex spreads concurrent writers across a counter's shards.
+// Distinct goroutines run on distinct stacks, so the address of a stack
+// local is a cheap, allocation-free proxy for goroutine identity; the
+// shift discards the within-frame offset. A collision only costs a
+// shared cache line, never correctness.
+func shardIndex() int {
+	var b byte
+	return int(uintptr(unsafe.Pointer(&b)) >> 10 & (numShards - 1))
+}
+
+// Counter is a monotonically increasing sharded atomic counter. The zero
+// value is ready to use; a nil *Counter no-ops.
+type Counter struct {
+	shards [numShards]shard
+}
+
+// Add increments the counter by n. Nil-safe, allocation-free.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.shards[shardIndex()].v.Add(n)
+}
+
+// Inc increments the counter by one. Nil-safe.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the counter's current total across all shards. Nil-safe
+// (returns 0).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	var sum uint64
+	for i := range c.shards {
+		sum += c.shards[i].v.Load()
+	}
+	return sum
+}
+
+// Gauge is a settable instantaneous value. The zero value is ready; a
+// nil *Gauge no-ops.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value. Nil-safe.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by d. Nil-safe.
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Value returns the gauge's current value. Nil-safe (returns 0).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// NumBuckets is the histogram bucket count: bucket 0 holds exact zeros,
+// bucket i (1..64) holds samples in [2^(i-1), 2^i - 1]. Every uint64
+// sample lands in a bucket; values at or above 2^63 fold into the top
+// bucket rather than overflowing.
+const NumBuckets = 65
+
+// BucketOf returns the bucket index a sample lands in.
+func BucketOf(v uint64) int {
+	if v == 0 {
+		return 0
+	}
+	return bits.Len64(v)
+}
+
+// BucketUpperBound returns the largest sample value bucket i can hold —
+// the Prometheus `le` boundary.
+func BucketUpperBound(i int) uint64 {
+	switch {
+	case i <= 0:
+		return 0
+	case i >= NumBuckets-1:
+		return ^uint64(0)
+	default:
+		return 1<<uint(i) - 1
+	}
+}
+
+// Histogram is a log2-bucketed distribution of uint64 samples
+// (simulated cycles, microseconds, bytes). All operations are atomic and
+// allocation-free; a nil *Histogram no-ops. The zero value is NOT ready
+// — use NewHistogram (or Registry.Histogram), which initializes the
+// running-minimum sentinel.
+type Histogram struct {
+	buckets [NumBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	min     atomic.Uint64 // ^0 sentinel when empty
+	max     atomic.Uint64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(^uint64(0))
+	return h
+}
+
+// Observe records one sample. Nil-safe, allocation-free.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.buckets[BucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of recorded samples. Nil-safe.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all recorded samples. Nil-safe.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Min returns the smallest recorded sample (0 when empty). Nil-safe.
+func (h *Histogram) Min() uint64 {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return h.min.Load()
+}
+
+// Max returns the largest recorded sample (0 when empty). Nil-safe.
+func (h *Histogram) Max() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Mean returns the average sample value (0 when empty). Nil-safe.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Bucket returns the sample count of bucket i. Nil-safe.
+func (h *Histogram) Bucket(i int) uint64 {
+	if h == nil || i < 0 || i >= NumBuckets {
+		return 0
+	}
+	return h.buckets[i].Load()
+}
+
+// Quantile returns the upper bound of the bucket containing the q-th
+// quantile sample (q in [0,1]) — an upper estimate with log2 resolution,
+// which is all the Figure 11 distributions need. Nil-safe (returns 0).
+func (h *Histogram) Quantile(q float64) uint64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(n))
+	if rank >= n {
+		rank = n - 1
+	}
+	var cum uint64
+	for i := 0; i < NumBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum > rank {
+			return BucketUpperBound(i)
+		}
+	}
+	return BucketUpperBound(NumBuckets - 1)
+}
+
+// Merge folds another histogram's samples into this one. Concurrent
+// Observes on either side land in one or the other consistently (every
+// operation is atomic). Nil-safe on both sides.
+func (h *Histogram) Merge(o *Histogram) {
+	if h == nil || o == nil {
+		return
+	}
+	for i := 0; i < NumBuckets; i++ {
+		if n := o.buckets[i].Load(); n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	cnt := o.count.Load()
+	if cnt == 0 {
+		return
+	}
+	h.count.Add(cnt)
+	h.sum.Add(o.sum.Load())
+	h.observeExtremes(o.min.Load(), o.max.Load())
+}
+
+// observeExtremes folds a min/max pair into the running extremes.
+func (h *Histogram) observeExtremes(mn, mx uint64) {
+	for {
+		cur := h.min.Load()
+		if mn >= cur || h.min.CompareAndSwap(cur, mn) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if mx <= cur || h.max.CompareAndSwap(cur, mx) {
+			break
+		}
+	}
+}

@@ -1,0 +1,275 @@
+package metrics
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is one name/value dimension of an instrument.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// seriesID renders the canonical series identity: the metric name plus
+// the sorted label set, in Prometheus exposition syntax. Two instruments
+// with the same ID are the same instrument.
+func seriesID(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue applies the Prometheus text-format escapes.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// sortLabels returns a sorted copy of the label set.
+func sortLabels(labels []Label) []Label {
+	out := append([]Label(nil), labels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// counterEntry, gaugeEntry and histEntry bind an instrument to its
+// identity for export.
+type counterEntry struct {
+	name   string
+	labels []Label
+	c      *Counter
+}
+
+type gaugeEntry struct {
+	name   string
+	labels []Label
+	g      *Gauge
+}
+
+type histEntry struct {
+	name   string
+	labels []Label
+	h      *Histogram
+}
+
+// Registry holds a named instrument set. Get-or-create takes the
+// registry lock; the returned instrument pointers are then lock-free, so
+// hot paths resolve their instruments once and record forever. A nil
+// *Registry is a valid disabled registry: lookups return nil instruments
+// whose methods no-op.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*counterEntry
+	gauges   map[string]*gaugeEntry
+	hists    map[string]*histEntry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*counterEntry),
+		gauges:   make(map[string]*gaugeEntry),
+		hists:    make(map[string]*histEntry),
+	}
+}
+
+// Counter returns the counter registered under name+labels, creating it
+// on first use. Nil-safe: a nil registry returns a nil (disabled)
+// counter.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	ls := sortLabels(labels)
+	id := seriesID(name, ls)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.counters[id]
+	if !ok {
+		e = &counterEntry{name: name, labels: ls, c: &Counter{}}
+		r.counters[id] = e
+	}
+	return e.c
+}
+
+// Gauge returns the gauge registered under name+labels, creating it on
+// first use. Nil-safe.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	ls := sortLabels(labels)
+	id := seriesID(name, ls)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.gauges[id]
+	if !ok {
+		e = &gaugeEntry{name: name, labels: ls, g: &Gauge{}}
+		r.gauges[id] = e
+	}
+	return e.g
+}
+
+// Histogram returns the histogram registered under name+labels, creating
+// it on first use. Nil-safe.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	ls := sortLabels(labels)
+	id := seriesID(name, ls)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.hists[id]
+	if !ok {
+		e = &histEntry{name: name, labels: ls, h: NewHistogram()}
+		r.hists[id] = e
+	}
+	return e.h
+}
+
+// CounterPoint is one counter series in a snapshot.
+type CounterPoint struct {
+	Name   string
+	Labels []Label
+	ID     string
+	Value  uint64
+}
+
+// GaugePoint is one gauge series in a snapshot.
+type GaugePoint struct {
+	Name   string
+	Labels []Label
+	ID     string
+	Value  int64
+}
+
+// HistogramPoint is one histogram series in a snapshot.
+type HistogramPoint struct {
+	Name    string
+	Labels  []Label
+	ID      string
+	Count   uint64
+	Sum     uint64
+	Min     uint64
+	Max     uint64
+	Buckets [NumBuckets]uint64
+}
+
+// Snapshot is a consistent-enough copy of a registry: instrument sets
+// are captured under the registry lock, values are atomic loads. Series
+// are sorted by ID, so exports are deterministic.
+type Snapshot struct {
+	Counters   []CounterPoint
+	Gauges     []GaugePoint
+	Histograms []HistogramPoint
+}
+
+// Snapshot captures the registry's current series and values. Nil-safe
+// (returns an empty snapshot).
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	ces := make([]*counterEntry, 0, len(r.counters))
+	for _, e := range r.counters {
+		ces = append(ces, e)
+	}
+	ges := make([]*gaugeEntry, 0, len(r.gauges))
+	for _, e := range r.gauges {
+		ges = append(ges, e)
+	}
+	hes := make([]*histEntry, 0, len(r.hists))
+	for _, e := range r.hists {
+		hes = append(hes, e)
+	}
+	r.mu.Unlock()
+
+	for _, e := range ces {
+		s.Counters = append(s.Counters, CounterPoint{
+			Name: e.name, Labels: e.labels,
+			ID: seriesID(e.name, e.labels), Value: e.c.Value(),
+		})
+	}
+	for _, e := range ges {
+		s.Gauges = append(s.Gauges, GaugePoint{
+			Name: e.name, Labels: e.labels,
+			ID: seriesID(e.name, e.labels), Value: e.g.Value(),
+		})
+	}
+	for _, e := range hes {
+		hp := HistogramPoint{
+			Name: e.name, Labels: e.labels,
+			ID:    seriesID(e.name, e.labels),
+			Count: e.h.Count(), Sum: e.h.Sum(),
+			Min: e.h.Min(), Max: e.h.Max(),
+		}
+		for i := 0; i < NumBuckets; i++ {
+			hp.Buckets[i] = e.h.Bucket(i)
+		}
+		s.Histograms = append(s.Histograms, hp)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].ID < s.Counters[j].ID })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].ID < s.Gauges[j].ID })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].ID < s.Histograms[j].ID })
+	return s
+}
+
+// Merge folds another registry's series into this one: counters and
+// gauges add, histograms merge bucket-wise. The other registry is
+// snapshotted under its own lock first, so two registries may merge into
+// each other concurrently without lock-order deadlocks. Nil-safe on both
+// sides.
+func (r *Registry) Merge(o *Registry) {
+	if r == nil || o == nil {
+		return
+	}
+	snap := o.Snapshot()
+	for _, cp := range snap.Counters {
+		r.Counter(cp.Name, cp.Labels...).Add(cp.Value)
+	}
+	for _, gp := range snap.Gauges {
+		r.Gauge(gp.Name, gp.Labels...).Add(gp.Value)
+	}
+	for _, hp := range snap.Histograms {
+		r.Histogram(hp.Name, hp.Labels...).mergePoint(hp)
+	}
+}
+
+// mergePoint folds a snapshotted histogram series into h.
+func (h *Histogram) mergePoint(p HistogramPoint) {
+	if h == nil || p.Count == 0 {
+		return
+	}
+	for i := 0; i < NumBuckets; i++ {
+		if p.Buckets[i] != 0 {
+			h.buckets[i].Add(p.Buckets[i])
+		}
+	}
+	h.count.Add(p.Count)
+	h.sum.Add(p.Sum)
+	h.observeExtremes(p.Min, p.Max)
+}

@@ -15,6 +15,7 @@ import (
 
 	"ticktock/internal/core"
 	"ticktock/internal/cycles"
+	"ticktock/internal/metrics"
 	"ticktock/internal/mpu"
 	"ticktock/internal/physmem"
 	"ticktock/internal/riscv"
@@ -140,10 +141,79 @@ type Kernel struct {
 	// Trace, when non-nil, receives kernel events, mirroring the ARM
 	// kernel's tracer wiring. Set it before Run.
 	Trace *trace.Tracer
+
+	// Metrics is the attached registry (AttachMetrics; nil when off).
+	Metrics *metrics.Registry
+
+	// prof is the folded-stack cycle profile (non-nil exactly when
+	// Metrics is); flavourName labels the series ("rv32-<chip>").
+	prof        *metrics.Profile
+	flavourName string
+	mSyscalls   [6]*metrics.Counter
+	mSyscallCyc [6]*metrics.Histogram
+	mSwitches   *metrics.Counter
+	mFaults     *metrics.Counter
+	mPMP        *metrics.Histogram
 }
 
 // Switches returns the number of completed context switches.
 func (k *Kernel) Switches() uint64 { return k.switches }
+
+// AttachMetrics wires the kernel into a metrics registry under the
+// flavour label "rv32-<chip>": per-class syscall counters and cycle
+// histograms, context-switch and fault counters, a PMP reconfigure
+// histogram, and the folded-stack cycle profile (Profile). Call it
+// before LoadProcess so the PMP drivers pick up their write counters.
+// Metrics observe the cycle meter but never charge it. Nil is a no-op.
+func (k *Kernel) AttachMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	k.Metrics = reg
+	k.prof = metrics.NewProfile()
+	k.flavourName = "rv32-" + k.Chip.Name
+	fl := metrics.L("flavour", k.flavourName)
+	for i := range k.mSyscalls {
+		cl := metrics.L("class", svcName(uint32(i)))
+		k.mSyscalls[i] = reg.Counter("ticktock_syscalls_total", fl, cl)
+		k.mSyscallCyc[i] = reg.Histogram("ticktock_syscall_cycles", fl, cl)
+	}
+	k.mSwitches = reg.Counter("ticktock_context_switches_total", fl)
+	k.mFaults = reg.Counter("ticktock_faults_total", fl)
+	k.mPMP = reg.Histogram("ticktock_mpu_reconfigure_cycles", fl)
+}
+
+// attr charges the cycles since start to a folded-stack window, exactly
+// as the ARM kernel does.
+func (k *Kernel) attr(start uint64, p *Process, window string) {
+	if k.prof == nil {
+		return
+	}
+	d := k.Machine.Meter.Cycles() - start
+	if d == 0 {
+		return
+	}
+	name := "kernel"
+	if p != nil {
+		name = p.Name
+	}
+	k.prof.Add(d, k.flavourName, name, window)
+}
+
+// Profile returns the folded-stack cycle profile with the unattributed
+// residue booked under `flavour;kernel;unattributed`, so its Total
+// equals the machine's cycle meter. Nil when metrics are off.
+func (k *Kernel) Profile() *metrics.Profile {
+	if k.prof == nil {
+		return nil
+	}
+	out := metrics.NewProfile()
+	out.Merge(k.prof)
+	if total, attributed := k.Machine.Meter.Cycles(), out.Total(); attributed < total {
+		out.Add(total-attributed, k.flavourName, "kernel", "unattributed")
+	}
+	return out
+}
 
 // emit records a trace event attributed to p (or the kernel when p is
 // nil). No-op without a tracer; never touches the cycle meter.
@@ -233,10 +303,30 @@ func (k *Kernel) allocFlashSlot(need uint32) (uint32, uint32, error) {
 	return base, size, nil
 }
 
+// svcWindows are precomputed folded-stack window names per class.
+var svcWindows = [6]string{
+	SVCYield:   "syscall/yield",
+	SVCCommand: "syscall/command",
+	SVCAllowRW: "syscall/allow-rw",
+	SVCAllowRO: "syscall/allow-ro",
+	SVCMemop:   "syscall/memop",
+	SVCExit:    "syscall/exit",
+}
+
+// svcWindow returns the profile window name for a syscall class.
+func svcWindow(class uint32) string {
+	if class < uint32(len(svcWindows)) {
+		return svcWindows[class]
+	}
+	return "syscall/" + svcName(class)
+}
+
 // LoadProcess loads an application: TBF header in flash, program mapped,
 // memory allocated through the generic granular allocator over the PMP
 // driver.
 func (k *Kernel) LoadProcess(app App) (*Process, error) {
+	t0 := k.Machine.Meter.Cycles()
+	defer func() { k.attr(t0, nil, "create") }()
 	probe := app.Build(0)
 	imageSize := uint32(tbf.HeaderSize) + uint32(4*len(probe.Instrs))
 	slotBase, slotSize, err := k.allocFlashSlot(imageSize)
@@ -271,6 +361,10 @@ func (k *Kernel) LoadProcess(app App) (*Process, error) {
 
 	drv := core.NewPMPMPU(k.Machine.PMP)
 	drv.Meter = k.Machine.Meter
+	if k.Metrics != nil {
+		drv.Writes = k.Metrics.Counter("riscv_pmp_entry_writes_total",
+			metrics.L("flavour", k.flavourName))
+	}
 	alloc := core.NewAllocator[core.PMPRegion](drv, core.Config{Meter: k.Machine.Meter})
 	poolLeft := ProcessPoolBase + ProcessPoolSize - k.poolCursor
 	if err := alloc.AllocateAppMemory(k.poolCursor, poolLeft,
@@ -330,7 +424,9 @@ func (k *Kernel) schedule() *Process {
 
 // RunOnce runs one scheduling quantum.
 func (k *Kernel) RunOnce() (bool, error) {
+	t0 := k.Machine.Meter.Cycles()
 	p := k.schedule()
+	k.attr(t0, nil, "schedule")
 	if p == nil {
 		var earliest uint64
 		for _, q := range k.Procs {
@@ -343,26 +439,33 @@ func (k *Kernel) RunOnce() (bool, error) {
 		}
 		if now := k.Machine.Meter.Cycles(); earliest > now {
 			k.Machine.Meter.Add(earliest - now)
+			k.attr(now, nil, "idle")
 		}
 		return true, nil
 	}
 
 	// Context switch in: program the PMP, restore registers, drop to
 	// user mode at the saved pc.
+	t0 = k.Machine.Meter.Cycles()
 	if err := p.Alloc.ConfigureMPU(); err != nil {
 		return false, err
 	}
+	k.mPMP.Observe(k.Machine.Meter.Cycles() - t0)
 	k.emit(trace.KindMPUConfig, p, 0, 0, "pmp")
 	m := k.Machine
 	m.X = p.Regs
 	m.Timer.Arm(k.Timeslice)
 	m.ResumeUser(p.PC)
+	k.attr(t0, p, "switch")
 
+	t0 = k.Machine.Meter.Cycles()
 	stop, err := m.Run(0)
 	if err != nil {
 		return false, err
 	}
+	k.attr(t0, p, "user")
 	k.switches++
+	k.mSwitches.Inc()
 	k.emit(trace.KindContextSwitch, p, k.switches, 0, stop.Reason.String())
 
 	// Context switch out: save registers (no hardware stacking on
@@ -371,22 +474,33 @@ func (k *Kernel) RunOnce() (bool, error) {
 	p.PC = m.CSR.MEPC
 	m.Timer.Disarm()
 
+	t0 = k.Machine.Meter.Cycles()
 	switch stop.Reason {
 	case rv32.StopTimer:
 		// Resume at the interrupted pc next time.
 		k.emit(trace.KindSysTick, p, 0, 0, "mtimer")
+		k.attr(t0, p, "preempt")
 	case rv32.StopEcall:
 		p.PC = m.CSR.MEPC + 4 // resume past the ecall
+		class := p.Regs[rv32.A7]
 		k.handleSyscall(p)
+		if class < uint32(len(k.mSyscalls)) {
+			k.mSyscalls[class].Inc()
+			k.mSyscallCyc[class].Observe(k.Machine.Meter.Cycles() - t0)
+		}
+		k.attr(t0, p, svcWindow(class))
 	case rv32.StopFault:
 		p.State = StateFaulted
 		p.FaultReason = fmt.Sprint(stop.Fault)
+		k.mFaults.Inc()
 		k.emit(trace.KindFault, p, 0, 0, p.FaultReason)
 		k.appendOutput(p, fmt.Sprintf("panic: process %s faulted: %v\n", p.Name, stop.Fault))
 		b := p.Alloc.Breaks()
 		k.appendOutput(p, fmt.Sprintf("layout: %s\n", b.String()))
+		k.attr(t0, p, "fault")
 	case rv32.StopWFI:
 		p.State = StateExited
+		k.attr(t0, p, "exit")
 	default:
 		return false, fmt.Errorf("rvkernel: unexpected stop %v", stop.Reason)
 	}

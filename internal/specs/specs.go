@@ -125,9 +125,10 @@ func BuildGranular(sc Scale) *verify.Registry {
 	for _, app := range apps {
 		app := app
 		r.Add(&verify.Spec{
-			Component: CompKernel,
-			Name:      fmt.Sprintf("kernel/brk/app=%d", app),
-			SpecLines: 1,
+			Component:  CompKernel,
+			Name:       fmt.Sprintf("kernel/brk/app=%d", app),
+			SpecLines:  1,
+			DomainSize: 6,
 			Body: func(t *verify.T) {
 				a := core.NewAllocator[core.CortexMRegion](core.NewCortexMMPU(armv7m.NewMPUHardware()), core.Config{})
 				if err := a.AllocateAppMemory(poolStart, poolSize, app*2+4096, app, 1024, flashBase, flashSize); err != nil {
@@ -138,6 +139,7 @@ func BuildGranular(sc Scale) *verify.Registry {
 					b.MemoryStart() + 1, b.MemoryStart() + app/2, b.KernelBreak() - 64,
 					b.MemoryStart() - 4, b.KernelBreak(), b.KernelBreak() + 100,
 				} {
+					t.Enumerate(1)
 					legal := target >= b.MemoryStart() && target < b.KernelBreak()
 					err := a.Brk(target)
 					if err == nil && !legal {
@@ -168,6 +170,7 @@ func BuildGranular(sc Scale) *verify.Registry {
 				}
 				b := a.Breaks()
 				for i := 0; i < 200; i++ {
+					t.Enumerate(1)
 					addr, err := a.AllocateGrant(64)
 					if err != nil {
 						break
@@ -183,16 +186,23 @@ func BuildGranular(sc Scale) *verify.Registry {
 		})
 	}
 
-	// --- Kernel: AppBreaks invariant obligations.
+	// --- Kernel: AppBreaks invariant obligations. The domain is the
+	// cross product the body sweeps; the Range length depends only on sz.
+	var abDomain uint64
+	for _, sz := range []uint32{1024, 4096} {
+		abDomain += 2 * uint64(len(verify.Range(0x2000_0000-64, 0x2000_0000+sz+64, 256))) * 3
+	}
 	r.Add(&verify.Spec{
-		Component: CompKernel,
-		Name:      "kernel/app_breaks_invariants",
-		SpecLines: 6,
+		Component:  CompKernel,
+		Name:       "kernel/app_breaks_invariants",
+		SpecLines:  6,
+		DomainSize: abDomain,
 		Body: func(t *verify.T) {
 			for _, ms := range []uint32{0x2000_0000, 0x2000_0400} {
 				for _, sz := range []uint32{1024, 4096} {
 					for _, ab := range verify.Range(ms-64, ms+sz+64, 256) {
 						for _, ks := range []uint32{0, 64, sz / 2} {
+							t.Enumerate(1)
 							b, err := core.NewAppBreaks(ms, sz, ab, ks, 0, 1024)
 							legal := ab >= ms && ab < ms+sz-ks && ks <= sz
 							if (err == nil) != legal {
@@ -212,11 +222,13 @@ func BuildGranular(sc Scale) *verify.Registry {
 	for _, app := range apps {
 		app := app
 		r.Add(&verify.Spec{
-			Component: CompArmMPU,
-			Name:      fmt.Sprintf("arm-mpu/new_regions/app=%d", app),
-			SpecLines: 1,
+			Component:  CompArmMPU,
+			Name:       fmt.Sprintf("arm-mpu/new_regions/app=%d", app),
+			SpecLines:  1,
+			DomainSize: 4,
 			Body: func(t *verify.T) {
 				for _, off := range []uint32{0, 0x40, 0x123, 0x700} {
+					t.Enumerate(1)
 					drv := core.NewCortexMMPU(armv7m.NewMPUHardware())
 					r0, r1, ok := drv.NewRegions(core.MaxRAMRegionNumber, poolStart+off, poolSize, app, 2*app, mpu.ReadWriteOnly)
 					if !ok {
@@ -248,12 +260,14 @@ func BuildGranular(sc Scale) *verify.Registry {
 		})
 	}
 	r.Add(&verify.Spec{
-		Component: CompArmMPU,
-		Name:      "arm-mpu/exact_region_bits",
-		SpecLines: 8,
+		Component:  CompArmMPU,
+		Name:       "arm-mpu/exact_region_bits",
+		SpecLines:  8,
+		DomainSize: uint64(len(verify.PowersOfTwo(32, 1<<16))),
 		Body: func(t *verify.T) {
 			drv := core.NewCortexMMPU(armv7m.NewMPUHardware())
 			for _, size := range verify.PowersOfTwo(32, 1<<16) {
+				t.Enumerate(1)
 				reg, ok := drv.NewExactRegion(2, 0x0008_0000, size, mpu.ReadExecuteOnly)
 				if 0x0008_0000%size != 0 {
 					continue
@@ -268,10 +282,17 @@ func BuildGranular(sc Scale) *verify.Registry {
 			}
 		},
 	})
+	var urDomain uint64
+	for avail := uint32(256); avail <= 8192; avail += 128 {
+		for want := uint32(1); want <= avail+512; want += 97 {
+			urDomain++
+		}
+	}
 	r.Add(&verify.Spec{
-		Component: CompArmMPU,
-		Name:      "arm-mpu/update_regions_bound",
-		SpecLines: 4,
+		Component:  CompArmMPU,
+		Name:       "arm-mpu/update_regions_bound",
+		SpecLines:  4,
+		DomainSize: urDomain,
 		Body: func(t *verify.T) {
 			drv := core.NewCortexMMPU(armv7m.NewMPUHardware())
 			r0, r1, ok := drv.NewRegions(1, poolStart, poolSize, 1024, 8192, mpu.ReadWriteOnly)
@@ -282,6 +303,7 @@ func BuildGranular(sc Scale) *verify.Registry {
 			start, _, _ := core.AccessibleSpan[core.CortexMRegion](r0, r1)
 			for avail := uint32(256); avail <= 8192; avail += 128 {
 				for want := uint32(1); want <= avail+512; want += 97 {
+					t.Enumerate(1)
 					n0, n1, ok := drv.UpdateRegions(r0, r1, start, avail, want, mpu.ReadWriteOnly)
 					if !ok {
 						continue
@@ -365,12 +387,14 @@ func BuildGranular(sc Scale) *verify.Registry {
 
 	// --- Flux-Std: helper obligations and trusted lemmas.
 	r.Add(&verify.Spec{
-		Component: CompFluxStd,
-		Name:      "flux-std/align_up",
-		SpecLines: 3,
+		Component:  CompFluxStd,
+		Name:       "flux-std/align_up",
+		SpecLines:  3,
+		DomainSize: uint64(len(verify.PowersOfTwo(1, 1<<16))) * uint64(len(verify.Range(0, 1<<17, 997))),
 		Body: func(t *verify.T) {
 			for _, align := range verify.PowersOfTwo(1, 1<<16) {
 				for _, v := range verify.Range(0, 1<<17, 997) {
+					t.Enumerate(1)
 					if !verify.LemmaAlignUpBounds(v, align) {
 						t.Failf("align bounds", "v=%d align=%d", v, align)
 					}
@@ -379,11 +403,13 @@ func BuildGranular(sc Scale) *verify.Registry {
 		},
 	})
 	r.Add(&verify.Spec{
-		Component: CompFluxStd,
-		Name:      "flux-std/closest_pow2",
-		SpecLines: 2,
+		Component:  CompFluxStd,
+		Name:       "flux-std/closest_pow2",
+		SpecLines:  2,
+		DomainSize: uint64(len(verify.Range(1, 1<<20, 1237))),
 		Body: func(t *verify.T) {
 			for _, n := range verify.Range(1, 1<<20, 1237) {
+				t.Enumerate(1)
 				p := verify.ClosestPowerOfTwo(n)
 				if !verify.IsPow2(p) || p < n || (p > 1 && p/2 >= n) {
 					t.Failf("minimal pow2", "n=%d p=%d", n, p)
@@ -394,11 +420,13 @@ func BuildGranular(sc Scale) *verify.Registry {
 	// --- DMA: the §4.6 safe-cell obligation — under any interleaving
 	// the cell never releases a buffer mid-transfer.
 	r.Add(&verify.Spec{
-		Component: CompKernel,
-		Name:      "kernel/dma_cell_no_tearing",
-		SpecLines: 6,
+		Component:  CompKernel,
+		Name:       "kernel/dma_cell_no_tearing",
+		SpecLines:  6,
+		DomainSize: 32,
 		Body: func(t *verify.T) {
 			for steps := 1; steps <= 32 && !t.Stopped(); steps++ {
+				t.Enumerate(1)
 				mem := physmem.NewMemory()
 				if _, err := mem.Map("ram", 0x2000_0000, 0x1000); err != nil {
 					t.Failf("setup", "%v", err)
@@ -453,9 +481,10 @@ func BuildMonolithic(sc Scale) *verify.Registry {
 	// THE dominating obligation: the grant-overlap postcondition over
 	// the entangled (alignment × appSize × kernelSize × minSize) space.
 	r.Add(&verify.Spec{
-		Component: CompMonolithic,
-		Name:      "monolithic/allocate_app_mem_region",
-		SpecLines: 18,
+		Component:  CompMonolithic,
+		Name:       "monolithic/allocate_app_mem_region",
+		SpecLines:  18,
+		DomainSize: uint64(sc.Align*8) * uint64(len(apps)) * uint64(len(kernelSizes)) * 3,
 		Body: func(t *verify.T) {
 			drv := monolithic.New(armv7m.NewMPUHardware())
 			for a := 0; a < sc.Align*8; a++ {
@@ -463,6 +492,7 @@ func BuildMonolithic(sc Scale) *verify.Registry {
 				for _, app := range apps {
 					for _, ks := range kernelSizes {
 						for _, minExtra := range []uint32{0, 700, 4096} {
+							t.Enumerate(1)
 							var cfg monolithic.MpuConfig
 							start, size, ok := drv.AllocateAppMemRegion(unalloc, 0x10_0000, app+ks+minExtra, app, ks, &cfg)
 							if !ok {
@@ -493,9 +523,10 @@ func BuildMonolithic(sc Scale) *verify.Registry {
 		for _, ks := range kernelSizes {
 			app, ks := app, ks
 			r.Add(&verify.Spec{
-				Component: CompMonolithic,
-				Name:      fmt.Sprintf("monolithic/update_app_mem_region/app=%d/k=%d", app, ks),
-				SpecLines: 1,
+				Component:  CompMonolithic,
+				Name:       fmt.Sprintf("monolithic/update_app_mem_region/app=%d/k=%d", app, ks),
+				SpecLines:  1,
+				DomainSize: 5,
 				Body: func(t *verify.T) {
 					drv := monolithic.New(armv7m.NewMPUHardware())
 					var cfg monolithic.MpuConfig
@@ -505,6 +536,7 @@ func BuildMonolithic(sc Scale) *verify.Registry {
 					}
 					kb := start + size - ks
 					for _, nb := range []uint32{start + 1, start + app, kb, kb + 64, start - 32} {
+						t.Enumerate(1)
 						err := drv.UpdateAppMemRegion(nb, kb, &cfg)
 						legal := nb > start && nb <= kb
 						if err == nil && !legal {

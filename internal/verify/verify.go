@@ -23,7 +23,10 @@ package verify
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
+
+	"ticktock/internal/metrics"
 )
 
 // Violation records a failed proof obligation: the function (spec) it
@@ -48,10 +51,28 @@ type T struct {
 	// MaxViolations caps recorded counterexamples per spec.
 	MaxViolations int
 	stopped       bool
+	states        uint64
+	checked       uint64
 }
 
-// Failf records a violation of the named clause.
-func (t *T) Failf(clause, format string, args ...any) {
+// Enumerate records n domain points (states) visited by the bounded
+// enumeration. Loop-heavy spec bodies call it once per point so the
+// checker report can show states-enumerated and domain-coverage columns;
+// bodies that never call it are counted as a single state.
+func (t *T) Enumerate(n uint64) { t.states += n }
+
+// States returns the domain points recorded so far.
+func (t *T) States() uint64 { return t.states }
+
+// Checked returns the contract clauses explicitly evaluated so far
+// (every Assert and Failf call counts one). The checker additionally
+// credits one implicit evaluation per enumerated state, since bodies in
+// the Failf-on-violation idiom check their clauses without calling
+// Assert; see runSpec.
+func (t *T) Checked() uint64 { return t.checked }
+
+// fail records a violation of the named clause.
+func (t *T) fail(clause, format string, args ...any) {
 	if t.stopped {
 		return
 	}
@@ -65,10 +86,17 @@ func (t *T) Failf(clause, format string, args ...any) {
 	}
 }
 
+// Failf records a violation of the named clause.
+func (t *T) Failf(clause, format string, args ...any) {
+	t.checked++
+	t.fail(clause, format, args...)
+}
+
 // Assert checks a postcondition/invariant clause.
 func (t *T) Assert(ok bool, clause, format string, args ...any) {
+	t.checked++
 	if !ok {
-		t.Failf(clause, format, args...)
+		t.fail(clause, format, args...)
 	}
 }
 
@@ -112,6 +140,9 @@ type Spec struct {
 	Trust TrustKind
 	// Body runs the bounded check. Nil for trusted specs.
 	Body func(t *T)
+	// DomainSize declares the full bounded domain the body enumerates
+	// (the denominator of the coverage column). 0 means unknown/N.A.
+	DomainSize uint64
 }
 
 // Registry holds a set of proof obligations.
@@ -157,26 +188,123 @@ type Result struct {
 	Spec       *Spec
 	Elapsed    time.Duration
 	Violations []*Violation
+	// States is the number of domain points the body enumerated
+	// (bodies that never call T.Enumerate count as one state).
+	States uint64
+	// Checked is the number of contract clauses evaluated.
+	Checked uint64
 }
 
 // OK reports whether the obligation held.
 func (r *Result) OK() bool { return len(r.Violations) == 0 }
 
+// Coverage returns the fraction of the declared domain the check
+// visited, or -1 when the spec declares no DomainSize.
+func (r *Result) Coverage() float64 {
+	if r.Spec.DomainSize == 0 {
+		return -1
+	}
+	return float64(r.States) / float64(r.Spec.DomainSize)
+}
+
+// runSpec checks a single spec.
+func runSpec(s *Spec) *Result {
+	res := &Result{Spec: s}
+	if s.Body != nil {
+		t := &T{spec: s.Name, MaxViolations: 10}
+		start := time.Now()
+		s.Body(t)
+		res.Elapsed = time.Since(start)
+		res.Violations = t.Violations()
+		if t.states == 0 {
+			t.states = 1
+		}
+		// Bodies written in the Failf-on-violation idiom evaluate their
+		// clauses at every enumerated state without calling Assert, so
+		// each state counts as at least one contract evaluation.
+		if t.checked < t.states {
+			t.checked = t.states
+		}
+		res.States = t.states
+		res.Checked = t.checked
+	}
+	return res
+}
+
+// RunOpts tunes a checker run.
+type RunOpts struct {
+	// Workers sizes the worker pool (<1 means sequential). Obligations
+	// are independent, exactly as Flux checks functions modularly.
+	Workers int
+	// Metrics, when non-nil, receives the checker's observability
+	// series after the run (see Report.Publish).
+	Metrics *metrics.Registry
+	// Progress, when non-nil, is called after spec completions with the
+	// number done, the total, and the just-finished result. Calls are
+	// serialized; done reaches total exactly once.
+	Progress func(done, total int, last *Result)
+	// ProgressEvery throttles Progress to every n completions (the
+	// final completion always reports). 0 means every completion.
+	ProgressEvery int
+}
+
 // Run checks every spec in the registry (trusted specs pass vacuously but
 // still appear in the report, as they do in the paper's tables).
-func (r *Registry) Run() *Report {
-	rep := &Report{}
-	for _, s := range r.specs {
-		res := &Result{Spec: s}
-		if s.Body != nil {
-			t := &T{spec: s.Name, MaxViolations: 10}
-			start := time.Now()
-			s.Body(t)
-			res.Elapsed = time.Since(start)
-			res.Violations = t.Violations()
-		}
-		rep.Results = append(rep.Results, res)
+func (r *Registry) Run() *Report { return r.RunWith(RunOpts{}) }
+
+// RunWith checks every spec under the given options: optional worker
+// pool, periodic progress callback, and metrics publication. Results
+// keep registration order regardless of completion order.
+func (r *Registry) RunWith(o RunOpts) *Report {
+	workers := o.Workers
+	if workers < 1 {
+		workers = 1
 	}
+	if workers > len(r.specs) && len(r.specs) > 0 {
+		workers = len(r.specs)
+	}
+	results := make([]*Result, len(r.specs))
+	var mu sync.Mutex
+	done := 0
+	finish := func(i int, res *Result) {
+		mu.Lock()
+		defer mu.Unlock()
+		results[i] = res
+		done++
+		if o.Progress != nil {
+			every := o.ProgressEvery
+			if every < 1 {
+				every = 1
+			}
+			if done%every == 0 || done == len(r.specs) {
+				o.Progress(done, len(r.specs), res)
+			}
+		}
+	}
+	if workers == 1 {
+		for i, s := range r.specs {
+			finish(i, runSpec(s))
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					finish(i, runSpec(r.specs[i]))
+				}
+			}()
+		}
+		for i := range r.specs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	rep := &Report{Results: results}
+	rep.Publish(o.Metrics)
 	return rep
 }
 
@@ -302,39 +430,70 @@ func (r *Registry) Effort() []EffortRow {
 
 // RunParallel checks every spec using the given number of worker
 // goroutines, for CI-sized runs where wall-clock matters more than the
-// per-function timing fidelity Figure 12 wants (each obligation is
-// independent, exactly as Flux checks functions modularly). Results keep
+// per-function timing fidelity Figure 12 wants. Results keep
 // registration order. workers < 1 means one worker.
 func (r *Registry) RunParallel(workers int) *Report {
-	if workers < 1 {
-		workers = 1
+	return r.RunWith(RunOpts{Workers: workers})
+}
+
+// TotalStates sums the domain points enumerated across all results.
+func (rep *Report) TotalStates() uint64 {
+	var n uint64
+	for _, r := range rep.Results {
+		n += r.States
 	}
-	results := make([]*Result, len(r.specs))
-	idx := make(chan int)
-	done := make(chan struct{})
-	for w := 0; w < workers; w++ {
-		go func() {
-			for i := range idx {
-				s := r.specs[i]
-				res := &Result{Spec: s}
-				if s.Body != nil {
-					t := &T{spec: s.Name, MaxViolations: 10}
-					start := time.Now()
-					s.Body(t)
-					res.Elapsed = time.Since(start)
-					res.Violations = t.Violations()
-				}
-				results[i] = res
-			}
-			done <- struct{}{}
-		}()
+	return n
+}
+
+// TotalChecked sums the contract clauses evaluated across all results.
+func (rep *Report) TotalChecked() uint64 {
+	var n uint64
+	for _, r := range rep.Results {
+		n += r.Checked
 	}
-	for i := range r.specs {
-		idx <- i
+	return n
+}
+
+// Coverage returns the overall fraction of declared domains visited —
+// enumerated states over the summed DomainSize of the specs that
+// declare one — or -1 when no spec declares a domain.
+func (rep *Report) Coverage() float64 {
+	var states, domain uint64
+	for _, r := range rep.Results {
+		if r.Spec.DomainSize > 0 {
+			states += r.States
+			domain += r.Spec.DomainSize
+		}
 	}
-	close(idx)
-	for w := 0; w < workers; w++ {
-		<-done
+	if domain == 0 {
+		return -1
 	}
-	return &Report{Results: results}
+	return float64(states) / float64(domain)
+}
+
+// Publish copies the report into a metrics registry as the checker's
+// observability series: per-component spec outcomes, states enumerated,
+// contracts checked/violated, and a per-spec wall-time histogram in
+// microseconds. Nil registry is a no-op.
+func (rep *Report) Publish(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	for _, res := range rep.Results {
+		comp := metrics.L("component", res.Spec.Component)
+		outcome := "pass"
+		switch {
+		case res.Spec.Trust != Checked:
+			outcome = "trusted"
+		case !res.OK():
+			outcome = "fail"
+		}
+		reg.Counter("verify_specs_total", comp, metrics.L("result", outcome)).Inc()
+		reg.Counter("verify_states_total", comp).Add(res.States)
+		reg.Counter("verify_contracts_checked_total", comp).Add(res.Checked)
+		reg.Counter("verify_contract_violations_total", comp).Add(uint64(len(res.Violations)))
+		if res.Spec.Body != nil {
+			reg.Histogram("verify_spec_time_us", comp).Observe(uint64(res.Elapsed.Microseconds()))
+		}
+	}
 }

@@ -25,6 +25,7 @@ import (
 	"ticktock/internal/fluxarm"
 	"ticktock/internal/kernel"
 	"ticktock/internal/membench"
+	"ticktock/internal/metrics"
 	"ticktock/internal/monolithic"
 	"ticktock/internal/rvkernel"
 	"ticktock/internal/specs"
@@ -56,6 +57,22 @@ const (
 
 // BugSet re-enables the paper's published bugs on the baseline kernel.
 type BugSet = monolithic.BugSet
+
+// MetricsRegistry collects counters, gauges and cycle histograms from a
+// kernel run. Pass one in Options.Metrics to instrument a kernel; the
+// instrumentation observes the simulated-cycle meter but never charges
+// it, so a metered run is cycle-identical to an unmetered one.
+type MetricsRegistry = metrics.Registry
+
+// MetricLabel is one key=value dimension on a metric series.
+type MetricLabel = metrics.Label
+
+// CycleProfile is a folded-stack profile whose stacks sum to the run's
+// total simulated cycles (Kernel.Profile returns one).
+type CycleProfile = metrics.Profile
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 
 // NewKernel boots a kernel on a fresh simulated board.
 func NewKernel(opts Options) (*Kernel, error) { return kernel.New(opts) }
