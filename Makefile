@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench profile cover ablation
+.PHONY: ci fmt vet build test race bench profile cover ablation faultcamp
 
 # ci is the gate the concurrency-touching paths (parallel difftest
 # campaign, goroutine-safe Stats, tracer, metrics registry) must keep
@@ -36,7 +36,14 @@ profile:
 cover:
 	$(GO) test -cover ./...
 
-# ablation proves the observability subsystems are free at the
-# simulated-cycle level (tracer and metrics registry).
+# ablation proves the observability and fault-injection subsystems are
+# free at the simulated-cycle level when idle (tracer, metrics registry,
+# disarmed fault hooks).
 ablation:
-	$(GO) test -bench 'Ablation_TraceOverhead|Ablation_MetricsOverhead' -benchtime 1x -run '^$$' .
+	$(GO) test -bench 'Ablation_TraceOverhead|Ablation_MetricsOverhead|Ablation_FaultInjectOverhead' -benchtime 1x -run '^$$' .
+
+# faultcamp runs the seeded fault-injection campaign across both ports
+# (ARM and RISC-V) and fails on any isolation-contract violation or
+# scenario error. Same seed, same report, byte for byte.
+faultcamp:
+	$(GO) run ./cmd/faultcamp -n 500

@@ -433,3 +433,67 @@ func BenchmarkAblation_IPCShareVsCopy(b *testing.B) {
 		b.ReportMetric(per, "sim-cycles/map")
 	})
 }
+
+// BenchmarkAblation_FaultInjectOverhead guards the fault-injection
+// hooks' zero-simulated-cost contract: a kernel with every FaultHook
+// installed (plus the machine-level LoadFault probe) but injecting
+// nothing must execute the exact same simulated-cycle count as a kernel
+// with no hooks at all. The hooks are one nil-check on the host; they
+// never touch the cycle meter.
+func BenchmarkAblation_FaultInjectOverhead(b *testing.B) {
+	run := func(hooked bool) (uint64, uint64, uint64) {
+		var fired uint64
+		opts := kernel.Options{Flavour: kernel.FlavourTickTock, Timeslice: 200}
+		if hooked {
+			opts.Hooks = kernel.FaultHooks{
+				SyscallArgs: func(p *kernel.Process, svc uint8, args [4]uint32) [4]uint32 {
+					fired++
+					return args
+				},
+				SyscallRet: func(p *kernel.Process, svc uint8, ret uint32) uint32 {
+					fired++
+					return ret
+				},
+				QuantumStart: func(p *kernel.Process) { fired++ },
+			}
+		}
+		k, err := kernel.New(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if hooked {
+			k.Board.Machine.LoadFault = func(addr uint32) error {
+				fired++
+				return nil
+			}
+		}
+		if _, err := k.LoadProcess(spinner()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := k.Run(50); err != nil {
+			b.Fatal(err)
+		}
+		return k.Meter().Cycles(), k.Switches, fired
+	}
+	var delta uint64
+	for i := 0; i < b.N; i++ {
+		plainCycles, plainSwitches, _ := run(false)
+		hookedCycles, hookedSwitches, fired := run(true)
+		if fired == 0 {
+			b.Fatal("hooks installed but never fired; the probe measured nothing")
+		}
+		if plainSwitches != hookedSwitches {
+			b.Fatalf("hooks changed the workload: switches %d->%d", plainSwitches, hookedSwitches)
+		}
+		if hookedCycles > plainCycles {
+			delta = hookedCycles - plainCycles
+		} else {
+			delta = plainCycles - hookedCycles
+		}
+		if delta != 0 {
+			b.Fatalf("idle fault hooks cost %d simulated cycles (hooked=%d plain=%d)",
+				delta, hookedCycles, plainCycles)
+		}
+	}
+	b.ReportMetric(float64(delta), "sim-cycle-delta")
+}

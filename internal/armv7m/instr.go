@@ -374,11 +374,7 @@ type Ldrb struct {
 }
 
 func (i Ldrb) Exec(m *Machine) error {
-	addr := m.CPU.R[i.Rn] + i.Imm
-	if err := m.checkAccess(addr, mpu.AccessRead); err != nil {
-		return err
-	}
-	b, err := m.Mem.LoadByte(addr)
+	b, err := m.loadByte(m.CPU.R[i.Rn] + i.Imm)
 	if err != nil {
 		return err
 	}

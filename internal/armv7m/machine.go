@@ -128,6 +128,14 @@ type Machine struct {
 	// off this hook; it must not mutate machine state.
 	OnException func(excNum uint32, entry bool)
 
+	// LoadFault, when non-nil, is consulted on every MPU-checked data
+	// load; a non-nil return is delivered to the program as a bus fault
+	// on that access. The fault-injection engine uses it to model
+	// transient memory-bus read errors; it must not mutate machine
+	// state, and a nil hook costs one pointer check and zero simulated
+	// cycles.
+	LoadFault func(addr uint32) error
+
 	// Machine-level metrics (AttachMetrics). All are nil-safe: an
 	// unattached machine pays one nil check per site and charges no
 	// simulated cycles either way.
@@ -190,7 +198,25 @@ func (m *Machine) loadWord(addr uint32) (uint32, error) {
 	if err := m.checkAccess(addr, mpu.AccessRead); err != nil {
 		return 0, err
 	}
+	if m.LoadFault != nil {
+		if err := m.LoadFault(addr); err != nil {
+			return 0, err
+		}
+	}
 	return m.Mem.ReadWord(addr)
+}
+
+// loadByte is an MPU-checked byte load.
+func (m *Machine) loadByte(addr uint32) (byte, error) {
+	if err := m.checkAccess(addr, mpu.AccessRead); err != nil {
+		return 0, err
+	}
+	if m.LoadFault != nil {
+		if err := m.LoadFault(addr); err != nil {
+			return 0, err
+		}
+	}
+	return m.Mem.LoadByte(addr)
 }
 
 // storeWord is an MPU-checked word store.

@@ -185,6 +185,20 @@ func (h *MPUHardware) ClearRegion(number int) error {
 // ResetWriteLog clears the region write ordering log.
 func (h *MPUHardware) ResetWriteLog() { h.RegionWriteLog = h.RegionWriteLog[:0] }
 
+// FlipBits XORs raw bit patterns into region number's RBAR/RASR pair,
+// bypassing the write-path validation entirely — modelling a single-event
+// upset striking the MPU register file rather than a software store. The
+// flip is deliberately not recorded in RegionWriteLog and not counted as
+// a write: no instruction executed. Out-of-range region numbers no-op,
+// as an upset outside the implemented register file has no target.
+func (h *MPUHardware) FlipBits(number int, rbarXor, rasrXor uint32) {
+	if number < 0 || number >= NumRegions {
+		return
+	}
+	h.rbar[number] ^= rbarXor
+	h.rasr[number] ^= rasrXor
+}
+
 // Region returns the raw register pair for region number.
 func (h *MPUHardware) Region(number int) (rbar, rasr uint32) {
 	return h.rbar[number], h.rasr[number]

@@ -9,6 +9,14 @@ type SysTick struct {
 	Reload  uint32
 	current uint32
 	pending bool
+	// dropNext, when set, swallows the next expiry: the counter reloads
+	// but no exception is latched (a glitched interrupt line).
+	dropNext bool
+	// pendingJitter is a jitter delta recorded while the timer was
+	// disarmed, applied once at the next Arm — the kernel disarms the
+	// timer across every trap, so a glitch striking between quanta
+	// perturbs the next quantum's countdown.
+	pendingJitter int64
 	// Fired counts total expirations, for scheduler statistics.
 	Fired uint64
 }
@@ -26,12 +34,17 @@ func (s *SysTick) Arm(reload uint32) {
 	s.Reload = reload
 	s.current = reload
 	s.pending = false
+	if d := s.pendingJitter; d != 0 {
+		s.pendingJitter = 0
+		s.Jitter(d)
+	}
 }
 
 // Disarm stops the timer and clears any pending expiry.
 func (s *SysTick) Disarm() {
 	s.Enabled = false
 	s.pending = false
+	s.dropNext = false
 }
 
 // Advance counts down by n cycles, latching a pending exception on expiry.
@@ -47,10 +60,40 @@ func (s *SysTick) Advance(n uint64) {
 		}
 		n -= uint64(s.current)
 		s.current = s.Reload
+		if s.dropNext {
+			s.dropNext = false
+			continue
+		}
 		s.pending = true
 		s.Fired++
 	}
 }
+
+// Jitter perturbs the live countdown by delta cycles — a fault-injection
+// model of reference-clock jitter. The counter is clamped to [1, 24-bit]
+// so the timer neither expires retroactively nor overflows. On a
+// disarmed timer the delta is remembered and applied at the next Arm
+// (there is no live count to disturb between quanta).
+func (s *SysTick) Jitter(delta int64) {
+	if !s.Enabled {
+		s.pendingJitter = delta
+		return
+	}
+	v := int64(s.current) + delta
+	if v < 1 {
+		v = 1
+	}
+	if v > MaxReload {
+		v = MaxReload
+	}
+	s.current = uint32(v)
+}
+
+// DropNext makes the timer swallow its next expiry: the countdown reloads
+// normally but no exception is latched and Fired does not advance — the
+// fault-injection model of a dropped tick. The following expiry behaves
+// normally.
+func (s *SysTick) DropNext() { s.dropNext = true }
 
 // TakePending consumes a pending expiry, returning whether one was latched.
 func (s *SysTick) TakePending() bool {

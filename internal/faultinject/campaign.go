@@ -1,0 +1,613 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"ticktock/internal/apps"
+	"ticktock/internal/armv7m"
+	"ticktock/internal/difftest"
+	"ticktock/internal/kernel"
+	"ticktock/internal/mpu"
+	"ticktock/internal/physmem"
+	"ticktock/internal/riscv"
+	"ticktock/internal/rv32"
+	"ticktock/internal/rvkernel"
+	"ticktock/internal/verify"
+)
+
+// errInjectedBus is the transient bus error delivered by KindBusFault on
+// the RISC-V port (the ARM port reports a physmem.BusError carrying the
+// faulting address, matching what its fault status register latches).
+var errInjectedBus = errors.New("faultinject: transient bus read error")
+
+// rasrBits are the architecturally meaningful RASR bits an upset can
+// strike: ENABLE, the SIZE field, the SRD byte, the AP field and XN.
+var rasrBits = []uint{0, 1, 2, 3, 4, 5, 8, 9, 10, 11, 12, 13, 14, 15, 24, 25, 26, 28}
+
+// armCases indexes the ARM release tests by name.
+func armCases() map[string]apps.TestCase {
+	out := make(map[string]apps.TestCase)
+	for _, tc := range apps.All() {
+		out[tc.Name] = tc
+	}
+	return out
+}
+
+// rvApps indexes the RISC-V release subset by name.
+func rvApps() map[string]rvkernel.App {
+	out := make(map[string]rvkernel.App)
+	for _, app := range rvkernel.ReleaseSubset() {
+		out[app.Name] = app
+	}
+	return out
+}
+
+// Run executes the campaign on a worker pool. Scenarios are independent
+// kernel pairs, so they parallelize freely; results land by index, so
+// the report is identical under any worker count.
+func Run(cfg Config) *Report {
+	cfg = cfg.withDefaults()
+	scenarios := GenScenarios(cfg)
+	results := make([]Result, len(scenarios))
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = RunScenario(scenarios[i], cfg)
+			}
+		}()
+	}
+	for i := range scenarios {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	rep := &Report{Config: cfg, Results: results}
+	rep.tally()
+	return rep
+}
+
+// RunScenario executes one scenario on both ports: an uninjected
+// baseline and an injected run each, classifying the injected run
+// against its baseline.
+func RunScenario(sc Scenario, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	return Result{
+		Scenario: sc,
+		ARM:      runARMScenario(sc, cfg),
+		RV:       runRVScenario(sc, cfg),
+	}
+}
+
+// classifyPort folds the baseline/injected pair into a PortResult.
+func classifyPort(port string, base, inj runSignature, applied bool, violations []string) PortResult {
+	pr := PortResult{Port: port, Applied: applied, Violations: violations}
+	pr.Outcome, pr.Detail = classify(applied, base, inj)
+	if inj.Quarantines > base.Quarantines {
+		pr.QuarantineDelta = inj.Quarantines - base.Quarantines
+	}
+	return pr
+}
+
+// --- ARM port driver ---
+
+func runARMScenario(sc Scenario, cfg Config) PortResult {
+	port := "arm-ticktock"
+	if sc.Monolithic {
+		port = "arm-tock"
+	}
+	base, _, _, err := armRun(sc, cfg, false)
+	if err != nil {
+		return PortResult{Port: port, Err: err.Error()}
+	}
+	inj, violations, applied, err := armRun(sc, cfg, true)
+	if err != nil {
+		return PortResult{Port: port, Err: err.Error()}
+	}
+	return classifyPort(port, base, inj, applied, violations)
+}
+
+// armRun executes the scenario's test case once on the ARM port,
+// optionally with the scenario's injection armed. Hook injections
+// (syscall corruption, bus faults) arm before boot and fire on their
+// nth event; boundary injections fire at the scenario's scheduling
+// quantum. It returns the run signature, the isolation sweep's findings
+// (injected runs only) and whether the injection actually fired.
+func armRun(sc Scenario, cfg Config, inject bool) (runSignature, []string, bool, error) {
+	tc, ok := armCases()[sc.App]
+	if !ok {
+		return runSignature{}, nil, false, fmt.Errorf("faultinject: no ARM case %q", sc.App)
+	}
+	policy := kernel.PolicyRestart
+	if sc.Quarantine {
+		policy = kernel.PolicyQuarantine
+	}
+	fl := kernel.FlavourTickTock
+	if sc.Monolithic {
+		fl = kernel.FlavourTock
+	}
+	opts := kernel.Options{
+		Flavour:     fl,
+		FaultPolicy: policy,
+		MaxRestarts: cfg.MaxRestarts,
+		Watchdog:    cfg.Watchdog,
+		BackoffBase: cfg.BackoffBase,
+	}
+	applied := false
+	var machine *armv7m.Machine
+	if inject {
+		switch sc.Kind {
+		case KindMPUFlip:
+			// The upset strikes at the start of the sc.Quantum-th user
+			// quantum — after the kernel programmed the MPU, while user
+			// code owns the pipeline. The kernel's per-switch
+			// reconfiguration bounds the exposure to one quantum.
+			n := 0
+			opts.Hooks.QuantumStart = func(p *kernel.Process) {
+				n++
+				if n == sc.Quantum && machine != nil {
+					applied = true
+					var rbarXor, rasrXor uint32
+					if sc.AttrReg {
+						rasrXor = 1 << rasrBits[sc.BitAttr%uint(len(rasrBits))]
+					} else {
+						// RBAR address bits [31:5]; the low bits are
+						// region/valid fields the model stores separately.
+						rbarXor = 1 << (5 + sc.BitAddr%27)
+					}
+					machine.MPU.FlipBits(sc.Entry%armv7m.NumRegions, rbarXor, rasrXor)
+				}
+			}
+		case KindSyscallArg:
+			n := 0
+			opts.Hooks.SyscallArgs = func(p *kernel.Process, svc uint8, args [4]uint32) [4]uint32 {
+				n++
+				if n == sc.Nth {
+					applied = true
+					args[sc.ArgIdx] ^= sc.XorVal
+				}
+				return args
+			}
+		case KindSyscallRet:
+			n := 0
+			opts.Hooks.SyscallRet = func(p *kernel.Process, svc uint8, ret uint32) uint32 {
+				n++
+				if n == sc.Nth {
+					applied = true
+					ret ^= sc.XorVal
+				}
+				return ret
+			}
+		}
+	}
+	k, err := kernel.New(opts)
+	if err != nil {
+		return runSignature{}, nil, false, err
+	}
+	machine = k.Board.Machine
+	if inject && sc.Kind == KindBusFault {
+		// Fire on the first protection-checked load: the release apps
+		// perform few data loads, so "nth load" would usually never be
+		// reached; load-free programs still classify as skipped.
+		n := 0
+		k.Board.Machine.LoadFault = func(addr uint32) error {
+			n++
+			if n == 1 {
+				applied = true
+				return &physmem.BusError{Addr: addr}
+			}
+			return nil
+		}
+	}
+	for _, app := range tc.Apps {
+		if _, err := k.LoadProcess(app); err != nil {
+			return runSignature{}, nil, false, err
+		}
+	}
+	quanta := tc.Quanta
+	if quanta == 0 {
+		quanta = difftest.DefaultQuanta
+	}
+	for q := 0; q < quanta; q++ {
+		alive := false
+		for _, p := range k.Procs {
+			if p.Alive() {
+				alive = true
+				break
+			}
+		}
+		if !alive {
+			break
+		}
+		if inject && q == sc.Quantum {
+			applied = armBoundaryInject(sc, k) || applied
+		}
+		ran, err := k.RunOnce()
+		if err != nil {
+			return runSignature{}, nil, applied, err
+		}
+		if !ran {
+			break
+		}
+	}
+	var violations []string
+	sig := armSignature(k)
+	if inject {
+		violations = armIsolation(k, !sc.Monolithic)
+	}
+	return sig, violations, applied, nil
+}
+
+// armBoundaryInject applies a quantum-boundary injection, reporting
+// whether it fired.
+func armBoundaryInject(sc Scenario, k *kernel.Kernel) bool {
+	m := k.Board.Machine
+	switch sc.Kind {
+	case KindTimerJitter:
+		m.Tick.Jitter(sc.JitterDelta)
+		return true
+	case KindTimerDrop:
+		m.Tick.DropNext()
+		return true
+	case KindStackSmash:
+		for _, p := range k.Procs {
+			if p.Alive() {
+				p.PSP = p.MM.Layout().MemoryStart + 4
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// armSignature captures the run's supervision counters, console output
+// and final states.
+func armSignature(k *kernel.Kernel) runSignature {
+	var out, states strings.Builder
+	var restarts uint64
+	for _, p := range k.Procs {
+		fmt.Fprintf(&out, "[%s] %s", p.Name, k.Output(p))
+		fmt.Fprintf(&states, "%s=%s ", p.Name, p.State)
+		restarts += uint64(p.Restarts)
+	}
+	return runSignature{
+		Faults:        k.Faults,
+		WatchdogFires: k.WatchdogFires,
+		Quarantines:   k.Quarantines,
+		SyscallErrors: k.SyscallErrors,
+		Restarts:      restarts,
+		Output:        out.String(),
+		States:        states.String(),
+	}
+}
+
+// armIsolation re-checks the isolation contracts after an injected run:
+// under every process's MPU configuration, kernel data must stay
+// user-inaccessible, and — on the granular (TickTock) flavour, whose
+// allocator the paper verifies — so must every process's grant region.
+// The monolithic baseline legitimately rounds its accessible span past
+// the app break (the §3.2 disagreement), so the grant clause is only a
+// contract of the granular flavour. Addresses are sampled (start, middle,
+// end of each span); a process whose ConfigureMPU fails is skipped — the
+// kernel would refuse to schedule it, which fails closed.
+func armIsolation(k *kernel.Kernel, granular bool) []string {
+	var violations []string
+	hw := k.Board.Machine.MPU
+	record := func(err error) {
+		if err != nil {
+			violations = append(violations, err.Error())
+		}
+	}
+	kernelAddrs := []uint32{
+		kernel.KernelDataBase,
+		kernel.KernelDataBase + kernel.KernelRAMSize/2,
+		kernel.RAMBase + kernel.RAMSize - 4,
+	}
+	for _, p := range k.Procs {
+		if err := p.MM.ConfigureMPU(); err != nil {
+			continue
+		}
+		for _, addr := range kernelAddrs {
+			for _, kind := range []mpu.AccessKind{mpu.AccessRead, mpu.AccessWrite} {
+				record(verify.Require(hw.Check(addr, kind, false) != nil,
+					"faultinject.arm", "kernel-data-isolated",
+					"process %s config allows user %v of kernel data 0x%08x", p.Name, kind, addr))
+			}
+		}
+		if granular {
+			for _, q := range k.Procs {
+				l := q.MM.Layout()
+				if l.GrantSize() == 0 {
+					continue
+				}
+				for _, addr := range spanSamples(l.KernelBreak, l.MemoryEnd()) {
+					for _, kind := range []mpu.AccessKind{mpu.AccessRead, mpu.AccessWrite} {
+						record(verify.Require(hw.Check(addr, kind, false) != nil,
+							"faultinject.arm", "grant-isolated",
+							"process %s config allows user %v of %s's grant 0x%08x", p.Name, kind, q.Name, addr))
+					}
+				}
+			}
+		}
+		p.MM.DisableMPU()
+	}
+	return violations
+}
+
+// spanSamples returns the start, midpoint and last word of [start, end).
+func spanSamples(start, end uint32) []uint32 {
+	if end <= start {
+		return nil
+	}
+	return []uint32{start, start + (end-start)/2, end - 4}
+}
+
+// --- RISC-V port driver ---
+
+func runRVScenario(sc Scenario, cfg Config) PortResult {
+	chip := riscv.Chips[sc.Chip%len(riscv.Chips)]
+	port := "rv32-" + chip.Name
+	base, _, _, err := rvRun(sc, cfg, chip, false)
+	if err != nil {
+		return PortResult{Port: port, Err: err.Error()}
+	}
+	inj, violations, applied, err := rvRun(sc, cfg, chip, true)
+	if err != nil {
+		return PortResult{Port: port, Err: err.Error()}
+	}
+	return classifyPort(port, base, inj, applied, violations)
+}
+
+// rvRun is the RISC-V twin of armRun.
+func rvRun(sc Scenario, cfg Config, chip riscv.ChipConfig, inject bool) (runSignature, []string, bool, error) {
+	app, ok := rvApps()[sc.App]
+	if !ok {
+		return runSignature{}, nil, false, fmt.Errorf("faultinject: no RISC-V app %q", sc.App)
+	}
+	k, err := rvkernel.New(chip)
+	if err != nil {
+		return runSignature{}, nil, false, err
+	}
+	k.FaultPolicy = rvkernel.PolicyRestart
+	if sc.Quarantine {
+		k.FaultPolicy = rvkernel.PolicyQuarantine
+	}
+	k.MaxRestarts = cfg.MaxRestarts
+	k.Watchdog = cfg.Watchdog
+	k.BackoffBase = cfg.BackoffBase
+	applied := false
+	if inject {
+		switch sc.Kind {
+		case KindMPUFlip:
+			// Mid-quantum strike, as on the ARM port.
+			n := 0
+			k.Hooks.QuantumStart = func(p *rvkernel.Process) {
+				n++
+				if n == sc.Quantum {
+					applied = true
+					var cfgXor uint8
+					var addrXor uint32
+					if sc.AttrReg {
+						cfgXor = 1 << (sc.BitAttr % 8)
+					} else {
+						addrXor = 1 << (sc.BitAddr % 32)
+					}
+					k.Machine.PMP.FlipBits(sc.Entry%chip.Entries, cfgXor, addrXor)
+				}
+			}
+		case KindSyscallArg:
+			n := 0
+			k.Hooks.SyscallArgs = func(p *rvkernel.Process, class uint32, args [4]uint32) [4]uint32 {
+				n++
+				if n == sc.Nth {
+					applied = true
+					args[sc.ArgIdx] ^= sc.XorVal
+				}
+				return args
+			}
+		case KindSyscallRet:
+			n := 0
+			k.Hooks.SyscallRet = func(p *rvkernel.Process, class uint32, ret uint32) uint32 {
+				n++
+				if n == sc.Nth {
+					applied = true
+					ret ^= sc.XorVal
+				}
+				return ret
+			}
+		case KindBusFault:
+			// First checked load, as on the ARM port.
+			n := 0
+			k.Machine.LoadFault = func(addr uint32) error {
+				n++
+				if n == 1 {
+					applied = true
+					return errInjectedBus
+				}
+				return nil
+			}
+		}
+	}
+	if _, err := k.LoadProcess(app); err != nil {
+		return runSignature{}, nil, false, err
+	}
+	quanta := 2000
+	if sc.App == "whileone" {
+		quanta = 30
+	}
+	for q := 0; q < quanta; q++ {
+		alive := false
+		for _, p := range k.Procs {
+			if p.Alive() {
+				alive = true
+				break
+			}
+		}
+		if !alive {
+			break
+		}
+		if inject && q == sc.Quantum {
+			applied = rvBoundaryInject(sc, k) || applied
+		}
+		ran, err := k.RunOnce()
+		if err != nil {
+			return runSignature{}, nil, applied, err
+		}
+		if !ran {
+			break
+		}
+	}
+	var violations []string
+	sig := rvSignature(k)
+	if inject {
+		violations = rvIsolation(k)
+	}
+	return sig, violations, applied, nil
+}
+
+// rvBoundaryInject applies a quantum-boundary injection on the RISC-V
+// machine, reporting whether it fired.
+func rvBoundaryInject(sc Scenario, k *rvkernel.Kernel) bool {
+	m := k.Machine
+	switch sc.Kind {
+	case KindTimerJitter:
+		m.Timer.Jitter(sc.JitterDelta)
+		return true
+	case KindTimerDrop:
+		m.Timer.DropNext()
+		return true
+	case KindStackSmash:
+		for _, p := range k.Procs {
+			if p.Alive() {
+				p.Regs[rv32.SP] = p.Alloc.Breaks().MemoryStart() + 4
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// rvSignature captures the run's supervision counters, console output
+// and final states.
+func rvSignature(k *rvkernel.Kernel) runSignature {
+	var out, states strings.Builder
+	var restarts uint64
+	for _, p := range k.Procs {
+		fmt.Fprintf(&out, "[%s] %s", p.Name, k.Output(p))
+		fmt.Fprintf(&states, "%s=%s ", p.Name, p.State)
+		restarts += uint64(p.Restarts)
+	}
+	return runSignature{
+		Faults:        k.Faults,
+		WatchdogFires: k.WatchdogFires,
+		Quarantines:   k.Quarantines,
+		SyscallErrors: k.SyscallErrors,
+		Restarts:      restarts,
+		Output:        out.String(),
+		States:        states.String(),
+	}
+}
+
+// rvIsolation re-checks the RISC-V isolation contracts after an injected
+// run. The RISC-V port has no IPC, so on top of the kernel-data and
+// grant clauses it can also require every *other* process's entire
+// memory block to be user-inaccessible.
+func rvIsolation(k *rvkernel.Kernel) []string {
+	var violations []string
+	pmp := k.Machine.PMP
+	record := func(err error) {
+		if err != nil {
+			violations = append(violations, err.Error())
+		}
+	}
+	kernelAddrs := []uint32{
+		rvkernel.KernelDataBase,
+		rvkernel.KernelDataBase + rvkernel.KernelRAMSize/2,
+		rvkernel.RAMBase + rvkernel.RAMSize - 4,
+	}
+	kinds := []mpu.AccessKind{mpu.AccessRead, mpu.AccessWrite}
+	for _, p := range k.Procs {
+		if err := p.Alloc.ConfigureMPU(); err != nil {
+			continue
+		}
+		for _, addr := range kernelAddrs {
+			for _, kind := range kinds {
+				record(verify.Require(pmp.Check(addr, kind, false) != nil,
+					"faultinject.rv", "kernel-data-isolated",
+					"process %s config allows user %v of kernel data 0x%08x", p.Name, kind, addr))
+			}
+		}
+		for _, q := range k.Procs {
+			b := q.Alloc.Breaks()
+			for _, addr := range spanSamples(b.KernelBreak(), b.MemoryEnd()) {
+				for _, kind := range kinds {
+					record(verify.Require(pmp.Check(addr, kind, false) != nil,
+						"faultinject.rv", "grant-isolated",
+						"process %s config allows user %v of %s's grant 0x%08x", p.Name, kind, q.Name, addr))
+				}
+			}
+			if q == p {
+				continue
+			}
+			for _, addr := range spanSamples(b.MemoryStart(), b.AppBreak()) {
+				for _, kind := range kinds {
+					record(verify.Require(pmp.Check(addr, kind, false) != nil,
+						"faultinject.rv", "cross-process-isolated",
+						"process %s config allows user %v of %s's memory 0x%08x", p.Name, kind, q.Name, addr))
+				}
+			}
+		}
+		p.Alloc.DisableMPU()
+	}
+	return violations
+}
+
+// --- difftest integration ---
+
+// Rows renders every scenario as a structured difftest row: the two
+// ports' classifications side by side, Equal when they agree. Divergent
+// classifications are reported, never fatal — different ISAs respond to
+// the same upset differently by design.
+func (r *Report) Rows() []difftest.Row {
+	rows := make([]difftest.Row, 0, len(r.Results))
+	for _, res := range r.Results {
+		row := difftest.Row{
+			Name:           res.Scenario.Label(),
+			Equal:          res.Agree(),
+			TickTock:       portCell(res.ARM),
+			Tock:           portCell(res.RV),
+			TickTockStates: res.ARM.Port,
+			TockStates:     res.RV.Port,
+		}
+		if res.ARM.Err != "" || res.RV.Err != "" {
+			row.Err = fmt.Errorf("arm=%q rv=%q", res.ARM.Err, res.RV.Err)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// portCell formats one port's result for a difftest row.
+func portCell(pr PortResult) string {
+	if pr.Err != "" {
+		return "error: " + pr.Err
+	}
+	if pr.Detail == "" {
+		return pr.Outcome.String()
+	}
+	return pr.Outcome.String() + ": " + pr.Detail
+}

@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"ticktock/internal/armv7m"
@@ -143,4 +144,45 @@ func TestChaosWithRestartPolicy(t *testing.T) {
 		t.Fatal(err)
 	}
 	kernelRAMClean(t, k)
+}
+
+func TestChaosWithQuarantinePolicy(t *testing.T) {
+	// Chaos apps under PolicyQuarantine plus a watchdog: whatever random
+	// garbage they execute, faulty processes must end up quarantined (a
+	// terminal state — never scheduled again) and kernel RAM must stay
+	// untouched. Run under -race in CI.
+	k := newTestKernel(t, Options{
+		Flavour: FlavourTickTock, FaultPolicy: PolicyQuarantine,
+		MaxRestarts: 1, Watchdog: 4, Timeslice: 1500,
+	})
+	var procs []*Process
+	for seed := int64(11); seed < 17; seed++ {
+		procs = append(procs, load(t, k, chaosApp(seed)))
+	}
+	if _, err := k.Run(500); err != nil {
+		t.Fatal(err)
+	}
+	kernelRAMClean(t, k)
+	deadline := k.Meter().Cycles() + 1<<24
+	for _, p := range procs {
+		switch p.State {
+		case StateQuarantined:
+			if p.Runnable(deadline) {
+				t.Fatalf("%s quarantined but still runnable", p.Name)
+			}
+			if !strings.Contains(p.FaultReason, "quarantined") {
+				t.Fatalf("%s FaultReason=%q", p.Name, p.FaultReason)
+			}
+		case StateFaulted:
+			t.Fatalf("%s faulted terminally under PolicyQuarantine: %q", p.Name, p.FaultReason)
+		}
+	}
+	if k.Quarantines > 0 {
+		// Quarantine must have gone through the full restart budget first.
+		for _, p := range procs {
+			if p.State == StateQuarantined && p.Restarts != 1 {
+				t.Fatalf("%s quarantined after %d restarts, want 1", p.Name, p.Restarts)
+			}
+		}
+	}
 }

@@ -41,6 +41,11 @@ const (
 	// PolicyRestart resets the process and restarts it from its entry
 	// point, up to MaxRestarts times.
 	PolicyRestart
+	// PolicyQuarantine restarts like PolicyRestart, but when the restart
+	// budget is exhausted the process is quarantined instead of left
+	// faulted: a distinct terminal state the kernel reports while it
+	// keeps serving every other process (graceful degradation).
+	PolicyQuarantine
 )
 
 // Scheduler selects the scheduling discipline, mirroring Tock's
@@ -78,8 +83,22 @@ type Options struct {
 	Scheduler Scheduler
 	// FaultPolicy selects the response to process faults.
 	FaultPolicy FaultPolicy
-	// MaxRestarts bounds PolicyRestart (0 means 3, Tock's default).
+	// MaxRestarts bounds PolicyRestart and PolicyQuarantine (0 means 3,
+	// Tock's default).
 	MaxRestarts int
+	// BackoffBase, when non-zero, delays every policy-initiated restart
+	// by BackoffBase << (restarts-1) cycles — exponential backoff, so a
+	// persistently-crashing process consumes geometrically less of the
+	// board. Zero restarts immediately (the historical behaviour).
+	BackoffBase uint64
+	// Watchdog, when non-zero, is the number of consecutive
+	// full-timeslice preemptions (no intervening syscall) after which
+	// the kernel declares a process runaway and faults it — the software
+	// watchdog. Zero disables the watchdog.
+	Watchdog int
+	// Hooks are the kernel-side fault-injection points (normally zero;
+	// the campaign engine installs them).
+	Hooks FaultHooks
 	// Bugs enables the faithful bug reproductions (monolithic flavour
 	// only, except MissedModeSwitch which lives in the shared
 	// context-switch path).
@@ -105,6 +124,26 @@ type Options struct {
 
 // DefaultTimeslice matches a 10 ms quantum at the modelled clock.
 const DefaultTimeslice = 10000
+
+// FaultHooks are the kernel-side fault-injection points. Both fields are
+// optional: a nil hook costs one pointer check and zero simulated cycles,
+// so hook-free kernels are cycle-identical to pre-hook builds. Hooks
+// observe and rewrite values but must not touch kernel state — the model
+// is corruption on the trap path (a flipped stacked register), not a
+// misbehaving kernel.
+type FaultHooks struct {
+	// SyscallArgs may rewrite the four stacked argument registers of a
+	// syscall before dispatch.
+	SyscallArgs func(p *Process, svcNum uint8, args [4]uint32) [4]uint32
+	// SyscallRet may rewrite the return value before it is written to
+	// the stacked r0.
+	SyscallRet func(p *Process, svcNum uint8, ret uint32) uint32
+	// QuantumStart fires after a context switch completes (MPU
+	// programmed, SysTick armed), immediately before user code runs —
+	// the injection point for upsets that strike hardware state while
+	// user code owns the pipeline.
+	QuantumStart func(p *Process)
+}
 
 // App describes an application to load: its metadata and a builder that
 // assembles the program at its final flash address.
@@ -135,6 +174,21 @@ type Kernel struct {
 	// Switches counts completed context switches.
 	Switches uint64
 
+	// SyscallErrors counts syscalls that returned an error code — the
+	// kernel's first line of defence against corrupted arguments, and
+	// the signal the fault campaign reads to classify argument
+	// corruption as detected.
+	SyscallErrors uint64
+
+	// Faults counts every process fault delivered to faultProcess,
+	// whatever the policy decided afterwards.
+	Faults uint64
+
+	// WatchdogFires counts software-watchdog activations; Quarantines
+	// counts processes placed in StateQuarantined.
+	WatchdogFires uint64
+	Quarantines   uint64
+
 	// output accumulates per-process console output.
 	output map[int][]byte
 
@@ -160,6 +214,8 @@ type Kernel struct {
 	mSwitches   *metrics.Counter
 	mFaults     *metrics.Counter
 	mRestarts   *metrics.Counter
+	mWatchdog   *metrics.Counter
+	mQuarantine *metrics.Counter
 	mMPU        *metrics.Histogram
 	methodHist  map[string]*metrics.Histogram
 }
@@ -194,6 +250,8 @@ func New(opts Options) (*Kernel, error) {
 		k.mSwitches = opts.Metrics.Counter("ticktock_context_switches_total", fl)
 		k.mFaults = opts.Metrics.Counter("ticktock_faults_total", fl)
 		k.mRestarts = opts.Metrics.Counter("ticktock_restarts_total", fl)
+		k.mWatchdog = opts.Metrics.Counter("ticktock_watchdog_fires_total", fl)
+		k.mQuarantine = opts.Metrics.Counter("ticktock_quarantines_total", fl)
 		k.mMPU = opts.Metrics.Histogram("ticktock_mpu_reconfigure_cycles", fl)
 		k.methodHist = make(map[string]*metrics.Histogram)
 		b.Machine.AttachMetrics(opts.Metrics, fl)
@@ -548,7 +606,15 @@ func (k *Kernel) RunOnce() (bool, error) {
 
 	t0 = k.Meter().Cycles()
 	if err := k.switchToProcess(p); err != nil {
-		return false, fmt.Errorf("kernel: switching to %s: %w", p.Name, err)
+		// A context switch that cannot complete — e.g. protection
+		// hardware wedged by an upset — faults the process rather than
+		// the board: fail closed per process, keep scheduling the rest.
+		k.faultProcess(p, fmt.Errorf("switching in: %v", err))
+		k.attr(t0, p, "fault")
+		return true, nil
+	}
+	if h := k.Opts.Hooks.QuantumStart; h != nil {
+		h(p)
 	}
 	k.attr(t0, p, "switch")
 	t0 = k.Meter().Cycles()
@@ -566,9 +632,17 @@ func (k *Kernel) RunOnce() (bool, error) {
 	case armv7m.StopPreempted:
 		k.emit(trace.KindSysTick, p, 0, 0, "")
 		k.saveProcessContext(p)
+		p.consecPreempts++
+		if w := k.Opts.Watchdog; w > 0 && p.consecPreempts >= w {
+			k.WatchdogFires++
+			k.mWatchdog.Inc()
+			k.emit(trace.KindWatchdog, p, uint64(p.consecPreempts), 0, "")
+			k.faultProcess(p, fmt.Errorf("watchdog: %d consecutive timeslices without a syscall", p.consecPreempts))
+		}
 		k.attr(t0, p, "preempt")
 	case armv7m.StopSyscall:
 		k.saveProcessContext(p)
+		p.consecPreempts = 0
 		err := k.handleSyscall(p, stop.SVCNum)
 		if n := int(stop.SVCNum); n < len(k.mSyscalls) {
 			k.mSyscalls[n].Inc()
@@ -627,6 +701,7 @@ func (k *Kernel) Run(maxQuanta int) (int, error) {
 func (k *Kernel) faultProcess(p *Process, cause error) {
 	p.State = StateFaulted
 	p.FaultReason = fmt.Sprint(cause)
+	k.Faults++
 	k.mFaults.Inc()
 	k.emit(trace.KindFault, p, 0, 0, p.FaultReason)
 	k.appendOutput(p, fmt.Sprintf("panic: process %s faulted: %v\n", p.Name, cause))
@@ -636,22 +711,48 @@ func (k *Kernel) faultProcess(p *Process, cause error) {
 	}
 	k.appendOutput(p, fmt.Sprintf("layout: %s\n", p.MM.Layout()))
 
-	if k.Opts.FaultPolicy == PolicyRestart {
-		maxR := k.Opts.MaxRestarts
-		if maxR == 0 {
-			maxR = 3
-		}
-		if p.Restarts < maxR {
-			if err := k.restartProcess(p); err != nil {
-				k.appendOutput(p, fmt.Sprintf("restart failed: %v\n", err))
-				return
-			}
-			p.Restarts++
-			k.mRestarts.Inc()
-			k.emit(trace.KindRestart, p, uint64(p.Restarts), 0, "")
-			k.appendOutput(p, fmt.Sprintf("restarting %s (attempt %d/%d)\n", p.Name, p.Restarts, maxR))
-		}
+	policy := k.Opts.FaultPolicy
+	if policy != PolicyRestart && policy != PolicyQuarantine {
+		return
 	}
+	maxR := k.Opts.MaxRestarts
+	if maxR == 0 {
+		maxR = 3
+	}
+	if p.Restarts < maxR {
+		if err := k.restartProcess(p); err != nil {
+			k.appendOutput(p, fmt.Sprintf("restart failed: %v\n", err))
+			return
+		}
+		p.Restarts++
+		k.mRestarts.Inc()
+		k.emit(trace.KindRestart, p, uint64(p.Restarts), 0, "")
+		k.appendOutput(p, fmt.Sprintf("restarting %s (attempt %d/%d)\n", p.Name, p.Restarts, maxR))
+		if base := k.Opts.BackoffBase; base != 0 {
+			// Exponential backoff: park the freshly-reset process until
+			// base << (attempt-1) cycles from now. StateYielded with a
+			// WakeAt is exactly a timed sleep the scheduler knows how to
+			// resume; Upcalls were cleared by the restart, so the wake
+			// delivers no spurious callback.
+			delay := base << uint(p.Restarts-1)
+			p.State = StateYielded
+			p.WakeAt = k.Meter().Cycles() + delay
+			k.emit(trace.KindBackoff, p, uint64(p.Restarts), delay, "")
+		}
+		return
+	}
+	if policy == PolicyQuarantine {
+		p.State = StateQuarantined
+		p.FaultReason = fmt.Sprintf("%v (quarantined after %d restarts)", cause, p.Restarts)
+		k.Quarantines++
+		k.mQuarantine.Inc()
+		k.emit(trace.KindQuarantine, p, uint64(p.Restarts), 0, p.FaultReason)
+		k.appendOutput(p, fmt.Sprintf("quarantining %s after %d restarts\n", p.Name, p.Restarts))
+		return
+	}
+	// Restart budget exhausted: the process stays faulted, and the
+	// reason records how many times the kernel tried.
+	p.FaultReason = fmt.Sprintf("%v (gave up after %d restarts)", cause, p.Restarts)
 }
 
 // restartProcess resets a faulted process for another run: zero its
@@ -678,6 +779,7 @@ func (k *Kernel) restartProcess(p *Process) error {
 	p.pendingUpcalls = nil
 	p.inUpcall = false
 	p.WakeAt = 0
+	p.consecPreempts = 0
 	stackTop := layout.MemoryStart + p.stackSize
 	if p.stackSize == 0 || stackTop > layout.AppBreak {
 		stackTop = layout.AppBreak

@@ -19,6 +19,11 @@ const (
 	StateExited
 	// StateFaulted: terminated by the kernel after a fault.
 	StateFaulted
+	// StateQuarantined: permanently isolated by the kernel after
+	// exhausting its restart budget under PolicyQuarantine. A quarantined
+	// process is never scheduled again, but the board keeps running —
+	// the graceful-degradation terminal state.
+	StateQuarantined
 )
 
 // String implements fmt.Stringer.
@@ -32,6 +37,8 @@ func (s State) String() string {
 		return "exited"
 	case StateFaulted:
 		return "faulted"
+	case StateQuarantined:
+		return "quarantined"
 	default:
 		return fmt.Sprintf("State(%d)", uint8(s))
 	}
@@ -81,6 +88,10 @@ type Process struct {
 
 	// Restarts counts kernel-initiated restarts (fault policy).
 	Restarts int
+
+	// consecPreempts counts consecutive full-timeslice preemptions with
+	// no intervening syscall — the software watchdog's staleness signal.
+	consecPreempts int
 
 	// initialBreak and stackSize are remembered from load time so the
 	// restart policy can reset the process.

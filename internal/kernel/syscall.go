@@ -117,6 +117,10 @@ func (k *Kernel) handleSyscall(p *Process, svcNum uint8) error {
 	if err != nil {
 		return fmt.Errorf("kernel: reading syscall frame of %s: %w", p.Name, err)
 	}
+	if h := k.Opts.Hooks.SyscallArgs; h != nil {
+		a := h(p, svcNum, [4]uint32{f.R0, f.R1, f.R2, f.R3})
+		f.R0, f.R1, f.R2, f.R3 = a[0], a[1], a[2], a[3]
+	}
 	var ret uint32 = RetSuccess
 	if k.tracer != nil {
 		k.emit(trace.KindSyscallEnter, p, uint64(svcNum), uint64(f.R0), SVCName(svcNum))
@@ -165,6 +169,13 @@ func (k *Kernel) handleSyscall(p *Process, svcNum uint8) error {
 		ret = RetInvalid
 	}
 
+	switch ret {
+	case RetFail, RetInvalid, RetNoMem:
+		k.SyscallErrors++
+	}
+	if h := k.Opts.Hooks.SyscallRet; h != nil {
+		ret = h(p, svcNum, ret)
+	}
 	if err := m.WriteFrameR0(p.PSP, ret); err != nil {
 		return fmt.Errorf("kernel: writing syscall return for %s: %w", p.Name, err)
 	}

@@ -121,6 +121,19 @@ func (p *PMP) SetEntry(i int, cfg uint8, addrReg uint32) error {
 // ClearEntry turns entry i OFF.
 func (p *PMP) ClearEntry(i int) error { return p.SetEntry(i, 0, 0) }
 
+// FlipBits XORs raw bit patterns into pmpcfg[i] and pmpaddr[i], bypassing
+// the SetEntry validation (lock bits, reserved encodings, TOR support) —
+// modelling a single-event upset striking the CSR file rather than a
+// csrw. The flip is not recorded in WriteLog: no instruction executed.
+// Out-of-range entries no-op.
+func (p *PMP) FlipBits(i int, cfgXor uint8, addrXor uint32) {
+	if i < 0 || i >= p.Chip.Entries {
+		return
+	}
+	p.cfg[i] ^= cfgXor
+	p.addr[i] ^= addrXor
+}
+
 // Entry returns the raw CSR values of entry i.
 func (p *PMP) Entry(i int) (cfg uint8, addrReg uint32) { return p.cfg[i], p.addr[i] }
 

@@ -174,6 +174,11 @@ func loadChecked(m *Machine, addr uint32, width uint32) (uint32, error) {
 	if err := m.check(addr, mpu.AccessRead); err != nil {
 		return 0, &accessFault{cause: CauseLoadAccessFault, addr: addr, inner: err}
 	}
+	if m.LoadFault != nil {
+		if err := m.LoadFault(addr); err != nil {
+			return 0, &accessFault{cause: CauseLoadAccessFault, addr: addr, inner: err}
+		}
+	}
 	switch width {
 	case 1:
 		b, err := m.Mem.LoadByte(addr)

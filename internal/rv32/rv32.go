@@ -101,17 +101,28 @@ type CSRs struct {
 // machine-timer interrupt, mirroring mtime/mtimecmp behaviour at the
 // granularity this model needs.
 type CLINT struct {
-	Enabled bool
-	current uint64
-	pending bool
-	Fired   uint64
+	Enabled  bool
+	current  uint64
+	pending  bool
+	dropNext bool
+	// pendingJitter is a jitter delta recorded while the timer was
+	// disarmed, applied once at the next Arm (the kernel disarms across
+	// every trap).
+	pendingJitter int64
+	Fired         uint64
 }
 
 // Arm starts a countdown of n cycles.
-func (c *CLINT) Arm(n uint64) { c.Enabled, c.current, c.pending = true, n, false }
+func (c *CLINT) Arm(n uint64) {
+	c.Enabled, c.current, c.pending = true, n, false
+	if d := c.pendingJitter; d != 0 {
+		c.pendingJitter = 0
+		c.Jitter(d)
+	}
+}
 
 // Disarm stops the timer.
-func (c *CLINT) Disarm() { c.Enabled, c.pending = false, false }
+func (c *CLINT) Disarm() { c.Enabled, c.pending, c.dropNext = false, false, false }
 
 // Advance counts down by n cycles.
 func (c *CLINT) Advance(n uint64) {
@@ -123,11 +134,37 @@ func (c *CLINT) Advance(n uint64) {
 		return
 	}
 	c.current = 0
+	if c.dropNext {
+		// Fault injection: the expiry is swallowed once; the timer keeps
+		// counting from zero so the next Advance latches normally.
+		c.dropNext = false
+		return
+	}
 	if !c.pending {
 		c.pending = true
 		c.Fired++
 	}
 }
+
+// Jitter perturbs the live countdown by delta cycles (fault injection:
+// reference-clock jitter). The count is clamped to at least 1 so the
+// timer never expires retroactively. On a disarmed timer the delta is
+// remembered and applied at the next Arm.
+func (c *CLINT) Jitter(delta int64) {
+	if !c.Enabled {
+		c.pendingJitter = delta
+		return
+	}
+	v := int64(c.current) + delta
+	if v < 1 {
+		v = 1
+	}
+	c.current = uint64(v)
+}
+
+// DropNext makes the timer swallow its next expiry without latching the
+// interrupt (fault injection: a dropped tick).
+func (c *CLINT) DropNext() { c.dropNext = true }
 
 // TakePending consumes a pending timer interrupt.
 func (c *CLINT) TakePending() bool {
@@ -201,6 +238,13 @@ type Machine struct {
 	PMP   *riscv.PMP
 	Timer CLINT
 	Meter *cycles.Meter
+
+	// LoadFault, when non-nil, is consulted on every PMP-checked data
+	// load; a non-nil return is delivered to the program as a load access
+	// fault on that address. The fault-injection engine uses it to model
+	// transient memory-bus read errors; it must not mutate machine state,
+	// and a nil hook costs one pointer check and zero simulated cycles.
+	LoadFault func(addr uint32) error
 
 	progs []*Program
 

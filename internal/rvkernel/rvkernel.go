@@ -83,11 +83,45 @@ const (
 	StateYielded
 	StateExited
 	StateFaulted
+	// StateQuarantined is the graceful-degradation terminal state: the
+	// process exhausted its restart budget under PolicyQuarantine and is
+	// never scheduled again while the board keeps running.
+	StateQuarantined
 )
 
 // String implements fmt.Stringer.
 func (s State) String() string {
-	return [...]string{"ready", "yielded", "exited", "faulted"}[s]
+	return [...]string{"ready", "yielded", "exited", "faulted", "quarantined"}[s]
+}
+
+// FaultPolicy decides what happens to a faulting process, mirroring the
+// ARM kernel's policy set.
+type FaultPolicy uint8
+
+// Fault policies.
+const (
+	// PolicyStop terminates the faulting process (the default).
+	PolicyStop FaultPolicy = iota
+	// PolicyRestart resets the process and restarts it from its entry
+	// point, up to MaxRestarts times.
+	PolicyRestart
+	// PolicyQuarantine restarts like PolicyRestart, then quarantines the
+	// process when the restart budget is exhausted.
+	PolicyQuarantine
+)
+
+// FaultHooks are the kernel-side fault-injection points, mirroring the
+// ARM kernel's. Nil hooks cost one pointer check and zero simulated
+// cycles.
+type FaultHooks struct {
+	// SyscallArgs may rewrite the four argument registers (a0..a3) of a
+	// syscall before dispatch.
+	SyscallArgs func(p *Process, class uint32, args [4]uint32) [4]uint32
+	// SyscallRet may rewrite the return value before it lands in a0.
+	SyscallRet func(p *Process, class uint32, ret uint32) uint32
+	// QuantumStart fires after a context switch completes (PMP
+	// programmed, timer armed), immediately before user code runs.
+	QuantumStart func(p *Process)
 }
 
 // App describes a RISC-V application.
@@ -117,6 +151,18 @@ type Process struct {
 	FaultReason string
 	Grants      []uint32
 
+	// Restarts counts kernel-initiated restarts (fault policy).
+	Restarts int
+
+	// consecPreempts counts consecutive full-timeslice preemptions with
+	// no intervening syscall — the software watchdog's staleness signal.
+	consecPreempts int
+
+	// initialBreak and stackSize are remembered from load time so the
+	// restart policy can reset the process.
+	initialBreak uint32
+	stackSize    uint32
+
 	// AllowedRO/AllowedRW are the per-driver shared buffers.
 	AllowedRO map[uint32][2]uint32 // driver -> {addr, len}
 	AllowedRW map[uint32][2]uint32
@@ -138,6 +184,23 @@ type Kernel struct {
 	output     map[int][]byte
 	LEDs       [4]bool
 
+	// FaultPolicy, MaxRestarts (0 means 3), BackoffBase and Watchdog
+	// mirror the ARM kernel's supervision options; set them before Run.
+	FaultPolicy FaultPolicy
+	MaxRestarts int
+	BackoffBase uint64
+	Watchdog    int
+	// Hooks are the kernel-side fault-injection points (normally zero).
+	Hooks FaultHooks
+
+	// SyscallErrors counts syscalls that returned an error code;
+	// Faults counts every fault delivered to faultProcess; WatchdogFires
+	// and Quarantines count supervision responses.
+	SyscallErrors uint64
+	Faults        uint64
+	WatchdogFires uint64
+	Quarantines   uint64
+
 	// Trace, when non-nil, receives kernel events, mirroring the ARM
 	// kernel's tracer wiring. Set it before Run.
 	Trace *trace.Tracer
@@ -153,6 +216,9 @@ type Kernel struct {
 	mSyscallCyc [6]*metrics.Histogram
 	mSwitches   *metrics.Counter
 	mFaults     *metrics.Counter
+	mRestarts   *metrics.Counter
+	mWatchdog   *metrics.Counter
+	mQuarantine *metrics.Counter
 	mPMP        *metrics.Histogram
 }
 
@@ -180,6 +246,9 @@ func (k *Kernel) AttachMetrics(reg *metrics.Registry) {
 	}
 	k.mSwitches = reg.Counter("ticktock_context_switches_total", fl)
 	k.mFaults = reg.Counter("ticktock_faults_total", fl)
+	k.mRestarts = reg.Counter("ticktock_restarts_total", fl)
+	k.mWatchdog = reg.Counter("ticktock_watchdog_fires_total", fl)
+	k.mQuarantine = reg.Counter("ticktock_quarantines_total", fl)
 	k.mPMP = reg.Histogram("ticktock_mpu_reconfigure_cycles", fl)
 }
 
@@ -375,13 +444,15 @@ func (k *Kernel) LoadProcess(app App) (*Process, error) {
 	k.poolCursor = (b.MemoryEnd() + 7) &^ 7
 
 	p := &Process{
-		ID:        len(k.Procs),
-		Name:      parsed.Name,
-		State:     StateReady,
-		Alloc:     alloc,
-		Entry:     codeBase,
-		AllowedRO: make(map[uint32][2]uint32),
-		AllowedRW: make(map[uint32][2]uint32),
+		ID:           len(k.Procs),
+		Name:         parsed.Name,
+		State:        StateReady,
+		Alloc:        alloc,
+		Entry:        codeBase,
+		AllowedRO:    make(map[uint32][2]uint32),
+		AllowedRW:    make(map[uint32][2]uint32),
+		initialBreak: b.AppBreak(),
+		stackSize:    parsed.StackSize,
 	}
 	// Initial user context: sp at the stack top, app arguments in a0-a3
 	// as the ARM port passes them in r0-r3.
@@ -448,7 +519,12 @@ func (k *Kernel) RunOnce() (bool, error) {
 	// user mode at the saved pc.
 	t0 = k.Machine.Meter.Cycles()
 	if err := p.Alloc.ConfigureMPU(); err != nil {
-		return false, err
+		// A PMP that cannot be programmed (e.g. an upset set a lock
+		// bit) faults the process rather than the board: fail closed
+		// per process, keep scheduling the rest.
+		k.faultProcess(p, fmt.Errorf("switching in: %v", err))
+		k.attr(t0, p, "fault")
+		return true, nil
 	}
 	k.mPMP.Observe(k.Machine.Meter.Cycles() - t0)
 	k.emit(trace.KindMPUConfig, p, 0, 0, "pmp")
@@ -456,6 +532,9 @@ func (k *Kernel) RunOnce() (bool, error) {
 	m.X = p.Regs
 	m.Timer.Arm(k.Timeslice)
 	m.ResumeUser(p.PC)
+	if h := k.Hooks.QuantumStart; h != nil {
+		h(p)
+	}
 	k.attr(t0, p, "switch")
 
 	t0 = k.Machine.Meter.Cycles()
@@ -479,9 +558,17 @@ func (k *Kernel) RunOnce() (bool, error) {
 	case rv32.StopTimer:
 		// Resume at the interrupted pc next time.
 		k.emit(trace.KindSysTick, p, 0, 0, "mtimer")
+		p.consecPreempts++
+		if w := k.Watchdog; w > 0 && p.consecPreempts >= w {
+			k.WatchdogFires++
+			k.mWatchdog.Inc()
+			k.emit(trace.KindWatchdog, p, uint64(p.consecPreempts), 0, "")
+			k.faultProcess(p, fmt.Errorf("watchdog: %d consecutive timeslices without a syscall", p.consecPreempts))
+		}
 		k.attr(t0, p, "preempt")
 	case rv32.StopEcall:
 		p.PC = m.CSR.MEPC + 4 // resume past the ecall
+		p.consecPreempts = 0
 		class := p.Regs[rv32.A7]
 		k.handleSyscall(p)
 		if class < uint32(len(k.mSyscalls)) {
@@ -490,13 +577,7 @@ func (k *Kernel) RunOnce() (bool, error) {
 		}
 		k.attr(t0, p, svcWindow(class))
 	case rv32.StopFault:
-		p.State = StateFaulted
-		p.FaultReason = fmt.Sprint(stop.Fault)
-		k.mFaults.Inc()
-		k.emit(trace.KindFault, p, 0, 0, p.FaultReason)
-		k.appendOutput(p, fmt.Sprintf("panic: process %s faulted: %v\n", p.Name, stop.Fault))
-		b := p.Alloc.Breaks()
-		k.appendOutput(p, fmt.Sprintf("layout: %s\n", b.String()))
+		k.faultProcess(p, stop.Fault)
 		k.attr(t0, p, "fault")
 	case rv32.StopWFI:
 		p.State = StateExited
@@ -505,6 +586,92 @@ func (k *Kernel) RunOnce() (bool, error) {
 		return false, fmt.Errorf("rvkernel: unexpected stop %v", stop.Reason)
 	}
 	return true, nil
+}
+
+// faultProcess implements the fault policy, mirroring the ARM kernel:
+// print a fault report, then stop, restart (with optional exponential
+// backoff) or — once the restart budget is exhausted — leave the process
+// faulted or quarantined per the configured policy.
+func (k *Kernel) faultProcess(p *Process, cause error) {
+	p.State = StateFaulted
+	p.FaultReason = fmt.Sprint(cause)
+	k.Faults++
+	k.mFaults.Inc()
+	k.emit(trace.KindFault, p, 0, 0, p.FaultReason)
+	k.appendOutput(p, fmt.Sprintf("panic: process %s faulted: %v\n", p.Name, cause))
+	k.appendOutput(p, fmt.Sprintf("layout: %s\n", p.Alloc.Breaks().String()))
+
+	policy := k.FaultPolicy
+	if policy != PolicyRestart && policy != PolicyQuarantine {
+		return
+	}
+	maxR := k.MaxRestarts
+	if maxR == 0 {
+		maxR = 3
+	}
+	if p.Restarts < maxR {
+		if err := k.restartProcess(p); err != nil {
+			k.appendOutput(p, fmt.Sprintf("restart failed: %v\n", err))
+			return
+		}
+		p.Restarts++
+		k.mRestarts.Inc()
+		k.emit(trace.KindRestart, p, uint64(p.Restarts), 0, "")
+		k.appendOutput(p, fmt.Sprintf("restarting %s (attempt %d/%d)\n", p.Name, p.Restarts, maxR))
+		if base := k.BackoffBase; base != 0 {
+			delay := base << uint(p.Restarts-1)
+			p.State = StateYielded
+			p.WakeAt = k.Machine.Meter.Cycles() + delay
+			k.emit(trace.KindBackoff, p, uint64(p.Restarts), delay, "")
+		}
+		return
+	}
+	if policy == PolicyQuarantine {
+		p.State = StateQuarantined
+		p.FaultReason = fmt.Sprintf("%v (quarantined after %d restarts)", cause, p.Restarts)
+		k.Quarantines++
+		k.mQuarantine.Inc()
+		k.emit(trace.KindQuarantine, p, uint64(p.Restarts), 0, p.FaultReason)
+		k.appendOutput(p, fmt.Sprintf("quarantining %s after %d restarts\n", p.Name, p.Restarts))
+		return
+	}
+	p.FaultReason = fmt.Sprintf("%v (gave up after %d restarts)", cause, p.Restarts)
+}
+
+// restartProcess resets a faulted process for another run: restore the
+// initial break, zero its accessible RAM, drop shared buffers and
+// pending wakes, and rebuild the initial register file. Grant
+// allocations persist, as on the ARM kernel.
+func (k *Kernel) restartProcess(p *Process) error {
+	if p.initialBreak != 0 && p.initialBreak != p.Alloc.Breaks().AppBreak() {
+		if err := p.Alloc.Brk(p.initialBreak); err != nil {
+			return err
+		}
+	}
+	b := p.Alloc.Breaks()
+	for addr := b.MemoryStart(); addr < b.AppBreak(); addr += 4 {
+		if err := k.Machine.Mem.WriteWord(addr, 0); err != nil {
+			return err
+		}
+	}
+	clear(p.AllowedRO)
+	clear(p.AllowedRW)
+	p.WakeAt = 0
+	p.consecPreempts = 0
+	stackTop := b.MemoryStart() + p.stackSize
+	if p.stackSize == 0 || stackTop > b.AppBreak() {
+		stackTop = b.AppBreak()
+	}
+	p.Regs = [32]uint32{}
+	p.Regs[rv32.SP] = stackTop &^ 7
+	p.Regs[rv32.A0] = b.MemoryStart()
+	p.Regs[rv32.A1] = b.AppBreak()
+	p.Regs[rv32.A2] = b.MemoryEnd()
+	p.Regs[rv32.A3] = b.FlashStart()
+	p.PC = p.Entry
+	p.State = StateReady
+	p.FaultReason = ""
+	return nil
 }
 
 // Run drives the scheduler for at most maxQuanta quanta.
@@ -535,6 +702,11 @@ func (k *Kernel) Run(maxQuanta int) (int, error) {
 func (k *Kernel) handleSyscall(p *Process) {
 	class := p.Regs[rv32.A7]
 	a0, a1, a2 := p.Regs[rv32.A0], p.Regs[rv32.A1], p.Regs[rv32.A2]
+	if h := k.Hooks.SyscallArgs; h != nil {
+		a := h(p, class, [4]uint32{a0, a1, a2, p.Regs[rv32.A3]})
+		a0, a1, a2 = a[0], a[1], a[2]
+		p.Regs[rv32.A3] = a[3]
+	}
 	var ret uint32 = RetSuccess
 	if k.Trace != nil {
 		k.emit(trace.KindSyscallEnter, p, uint64(class), uint64(a0), svcName(class))
@@ -571,6 +743,13 @@ func (k *Kernel) handleSyscall(p *Process) {
 		return
 	default:
 		ret = RetInvalid
+	}
+	switch ret {
+	case RetInvalid, RetNoMem:
+		k.SyscallErrors++
+	}
+	if h := k.Hooks.SyscallRet; h != nil {
+		ret = h(p, class, ret)
 	}
 	p.Regs[rv32.A0] = ret
 }

@@ -95,3 +95,13 @@ func TestEndToEndObligationsHold(t *testing.T) {
 		t.Fatal("no end-to-end obligations registered")
 	}
 }
+
+func TestSupervisionObligationsHold(t *testing.T) {
+	rep := BuildSupervision(QuickScale).Run()
+	for _, f := range rep.Failed() {
+		t.Errorf("%s: %v", f.Spec.Name, f.Violations[0])
+	}
+	if len(rep.Results) < 5 {
+		t.Fatalf("only %d supervision obligations registered", len(rep.Results))
+	}
+}

@@ -124,6 +124,10 @@ func (t *Tracer) ExportText(w io.Writer) error {
 			detail = fmt.Sprintf("total=%d", e.A)
 		case KindRestart:
 			detail = fmt.Sprintf("attempt=%d", e.A)
+		case KindWatchdog:
+			detail = fmt.Sprintf("preemptions=%d", e.A)
+		case KindBackoff:
+			detail = fmt.Sprintf("attempt=%d delay=%d", e.A, e.B)
 		}
 		if _, err := fmt.Fprintf(w, "%-16d %-6d %-16s %-16s %s\n",
 			e.Cycle, e.Seq, proc, e.Kind, detail); err != nil {

@@ -59,8 +59,20 @@ const (
 	// KindRestart: the fault policy restarted a process. A=restart
 	// attempt number.
 	KindRestart
+	// KindWatchdog: the software watchdog faulted a runaway process.
+	// A=consecutive full-timeslice preemptions observed.
+	KindWatchdog
+	// KindQuarantine: the fault policy quarantined a process. A=fault
+	// count at quarantine time.
+	KindQuarantine
+	// KindBackoff: a restart was delayed by exponential backoff.
+	// A=restart attempt number, B=backoff delay in cycles.
+	KindBackoff
+	// KindInject: the fault-injection engine perturbed machine or kernel
+	// state. Label carries the injector name.
+	KindInject
 
-	numKinds = int(KindRestart) + 1
+	numKinds = int(KindInject) + 1
 )
 
 // String implements fmt.Stringer.
@@ -88,6 +100,14 @@ func (k Kind) String() string {
 		return "fault"
 	case KindRestart:
 		return "restart"
+	case KindWatchdog:
+		return "watchdog"
+	case KindQuarantine:
+		return "quarantine"
+	case KindBackoff:
+		return "backoff"
+	case KindInject:
+		return "inject"
 	default:
 		return "unknown"
 	}
