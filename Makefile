@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench profile cover ablation faultcamp
+.PHONY: ci fmt vet build test race bench profile cover ablation faultcamp accessbench
 
 # ci is the gate the concurrency-touching paths (parallel difftest
 # campaign, goroutine-safe Stats, tracer, metrics registry) must keep
@@ -41,6 +41,11 @@ cover:
 # disarmed fault hooks).
 ablation:
 	$(GO) test -bench 'Ablation_TraceOverhead|Ablation_MetricsOverhead|Ablation_FaultInjectOverhead' -benchtime 1x -run '^$$' .
+
+# accessbench records the interval access-map engine against the
+# per-byte scan baseline on the 64 KiB acceptance query, per port.
+accessbench:
+	$(GO) test -bench 'AccessMap' -benchtime 100x -run '^$$' .
 
 # faultcamp runs the seeded fault-injection campaign across both ports
 # (ARM and RISC-V) and fails on any isolation-contract violation or

@@ -1,0 +1,115 @@
+package accessmap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ticktock/internal/mpu"
+)
+
+// windowChecker allows user reads in [lo, hi) and privileged everything —
+// a miniature decision function with one boundary pair.
+func windowChecker(lo, hi uint32) Checker {
+	return func(addr uint32, kind mpu.AccessKind, privileged bool) bool {
+		if privileged {
+			return true
+		}
+		return kind == mpu.AccessRead && addr >= lo && addr < hi
+	}
+}
+
+func TestBuildMergesAndQueries(t *testing.T) {
+	lo, hi := uint32(0x1000), uint32(0x3000)
+	// Redundant interior boundary at 0x2000 must merge away.
+	m := Build([]uint64{uint64(lo), 0x2000, uint64(hi)}, windowChecker(lo, hi))
+	iv := m.Intervals(mpu.AccessRead, false)
+	if len(iv) != 1 || iv[0].Start != uint64(lo) || iv[0].End != uint64(hi) {
+		t.Fatalf("read intervals = %+v, want one [0x1000,0x3000)", iv)
+	}
+	if got := m.Intervals(mpu.AccessWrite, false); len(got) != 0 {
+		t.Fatalf("user write intervals = %+v, want none", got)
+	}
+	if got := m.Intervals(mpu.AccessWrite, true); len(got) != 1 || got[0].Start != 0 || got[0].End != AddressSpace {
+		t.Fatalf("privileged write intervals = %+v, want the full space", got)
+	}
+	for _, c := range []struct {
+		start, length uint32
+		all, any      bool
+	}{
+		{lo, hi - lo, true, true},
+		{lo, hi - lo + 1, false, true},
+		{lo - 1, 2, false, true},
+		{hi, 16, false, false},
+		{0, 16, false, false},
+		{lo + 5, 0, true, false}, // zero length: vacuous / never
+	} {
+		if got := m.AllAllowed(c.start, c.length, mpu.AccessRead, false); got != c.all {
+			t.Errorf("AllAllowed(0x%x,%d) = %v, want %v", c.start, c.length, got, c.all)
+		}
+		if got := m.AnyAllowed(c.start, c.length, mpu.AccessRead, false); got != c.any {
+			t.Errorf("AnyAllowed(0x%x,%d) = %v, want %v", c.start, c.length, got, c.any)
+		}
+	}
+}
+
+func TestEndOfAddressSpaceSemantics(t *testing.T) {
+	// Allow everything: only the address-space edge can deny.
+	m := Build(nil, func(uint32, mpu.AccessKind, bool) bool { return true })
+	if !m.AllAllowed(0xFFFF_FFE0, 0x20, mpu.AccessRead, false) {
+		t.Fatal("range ending exactly at 2^32 denied")
+	}
+	if m.AllAllowed(0xFFFF_FFE0, 0x40, mpu.AccessRead, false) {
+		t.Fatal("range past 2^32 allowed in full: those bytes do not exist")
+	}
+	if !m.AnyAllowed(0xFFFF_FFE0, 0x40, mpu.AccessRead, false) {
+		t.Fatal("clipped any-query denied despite existing accessible bytes")
+	}
+	if !m.AllAllowed(0xFFFF_FFFF, 1, mpu.AccessRead, false) {
+		t.Fatal("last byte of the address space denied")
+	}
+	if m.AllAllowed(0xFFFF_FFFF, 2, mpu.AccessRead, false) {
+		t.Fatal("two bytes from the last address allowed")
+	}
+	// The historical pathological case: a near-2^32 length returns
+	// immediately instead of spinning ~4B iterations.
+	if m.AllAllowed(0x10, 0xFFFF_FFFF, mpu.AccessRead, false) {
+		t.Fatal("wrapping-length range allowed")
+	}
+}
+
+func TestBoundaryHygiene(t *testing.T) {
+	// Out-of-range and duplicate boundaries are ignored; 0 and 2^32 are
+	// implied.
+	m := Build([]uint64{0, 0x100, 0x100, 1 << 33, AddressSpace, 0x100},
+		windowChecker(0, 0x100))
+	if m.Segments() != 2 {
+		t.Fatalf("segments = %d, want 2", m.Segments())
+	}
+	if !m.AllAllowed(0, 0x100, mpu.AccessRead, false) || m.AnyAllowed(0x100, 64, mpu.AccessRead, false) {
+		t.Fatal("window decisions wrong after boundary dedup")
+	}
+}
+
+// Property: for any boundary set and any query, AllAllowed/AnyAllowed
+// agree with a direct byte scan of the checker.
+func TestQueryMatchesByteScanProperty(t *testing.T) {
+	lo, hi := uint32(0x2000), uint32(0x2800)
+	check := windowChecker(lo, hi)
+	m := Build([]uint64{uint64(lo), uint64(hi)}, check)
+	f := func(start uint32, length uint16) bool {
+		start %= 0x4000 // keep the scan bounded and wrap-free
+		all, any := true, false
+		for off := uint32(0); off < uint32(length); off++ {
+			if check(start+off, mpu.AccessRead, false) {
+				any = true
+			} else {
+				all = false
+			}
+		}
+		return m.AllAllowed(start, uint32(length), mpu.AccessRead, false) == all &&
+			m.AnyAllowed(start, uint32(length), mpu.AccessRead, false) == any
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}

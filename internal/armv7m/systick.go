@@ -12,10 +12,10 @@ type SysTick struct {
 	// dropNext, when set, swallows the next expiry: the counter reloads
 	// but no exception is latched (a glitched interrupt line).
 	dropNext bool
-	// pendingJitter is a jitter delta recorded while the timer was
-	// disarmed, applied once at the next Arm — the kernel disarms the
-	// timer across every trap, so a glitch striking between quanta
-	// perturbs the next quantum's countdown.
+	// pendingJitter accumulates jitter deltas recorded while the timer
+	// was disarmed, applied once at the next Arm — the kernel disarms
+	// the timer across every trap, so glitches striking between quanta
+	// perturb the next quantum's countdown.
 	pendingJitter int64
 	// Fired counts total expirations, for scheduler statistics.
 	Fired uint64
@@ -72,11 +72,12 @@ func (s *SysTick) Advance(n uint64) {
 // Jitter perturbs the live countdown by delta cycles — a fault-injection
 // model of reference-clock jitter. The counter is clamped to [1, 24-bit]
 // so the timer neither expires retroactively nor overflows. On a
-// disarmed timer the delta is remembered and applied at the next Arm
-// (there is no live count to disturb between quanta).
+// disarmed timer the delta accumulates and is applied at the next Arm
+// (there is no live count to disturb between quanta): successive
+// glitches between quanta must sum, not overwrite each other.
 func (s *SysTick) Jitter(delta int64) {
 	if !s.Enabled {
-		s.pendingJitter = delta
+		s.pendingJitter += delta
 		return
 	}
 	v := int64(s.current) + delta

@@ -13,6 +13,7 @@ package armv8m
 import (
 	"fmt"
 
+	"ticktock/internal/accessmap"
 	"ticktock/internal/mpu"
 )
 
@@ -96,6 +97,18 @@ type MPUHardware struct {
 
 	rbar [NumRegions]uint32
 	rlar [NumRegions]uint32
+
+	// MapBuilds counts access-map constructions; the cache-invalidation
+	// ablation guard asserts it only moves when the configuration does.
+	MapBuilds uint64
+
+	// gen counts register mutations; the derived access map is cached
+	// against it and the exported control bits.
+	gen      uint64
+	amap     *accessmap.Map
+	amapGen  uint64
+	amapCtrl bool
+	amapPriv bool
 }
 
 // NewMPUHardware returns a disabled MPU.
@@ -126,6 +139,7 @@ func (h *MPUHardware) WriteRegion(number int, rbar, rlar uint32) error {
 	}
 	h.rbar[number] = rbar
 	h.rlar[number] = rlar
+	h.gen++
 	return nil
 }
 
@@ -136,8 +150,13 @@ func (h *MPUHardware) ClearRegion(number int) error {
 	}
 	h.rbar[number] = 0
 	h.rlar[number] = 0
+	h.gen++
 	return nil
 }
+
+// Generation returns the configuration-generation counter: it advances on
+// every register mutation so cached derivations can detect staleness.
+func (h *MPUHardware) Generation() uint64 { return h.gen }
 
 // Region returns the raw register pair.
 func (h *MPUHardware) Region(number int) (rbar, rlar uint32) {
@@ -174,11 +193,61 @@ func (h *MPUHardware) Check(addr uint32, kind mpu.AccessKind, privileged bool) e
 	return &mpu.ProtectionError{Addr: addr, Kind: kind, Privileged: privileged}
 }
 
+// boundaries collects every address at which the MPU decision can change:
+// each enabled region's base and one-past-limit.
+func (h *MPUHardware) boundaries() []uint64 {
+	bs := make([]uint64, 0, 2*NumRegions)
+	for i := 0; i < NumRegions; i++ {
+		if h.rlar[i]&RLAREnable == 0 {
+			continue
+		}
+		base := uint64(h.rbar[i] & AddrMask)
+		end := uint64(h.rlar[i]&AddrMask) + Granule
+		bs = append(bs, base, end)
+	}
+	return bs
+}
+
+// AccessMap returns the interval decision map derived from the current
+// register state, rebuilding it only when the configuration generation or
+// a control bit changed since the last build.
+func (h *MPUHardware) AccessMap() *accessmap.Map {
+	if h.amap == nil || h.amapGen != h.gen || h.amapCtrl != h.CtrlEnable || h.amapPriv != h.PrivDefEna {
+		h.amap = accessmap.Build(h.boundaries(), func(addr uint32, kind mpu.AccessKind, privileged bool) bool {
+			return h.Check(addr, kind, privileged) == nil
+		})
+		h.amapGen, h.amapCtrl, h.amapPriv = h.gen, h.CtrlEnable, h.PrivDefEna
+		h.MapBuilds++
+	}
+	return h.amap
+}
+
 // AccessibleUser reports whether every byte of [start, start+length) is
-// user-accessible for kind.
+// user-accessible for kind. Zero length is vacuously accessible; a range
+// running past the top of the 32-bit address space is not. Answered from
+// the cached interval map; AccessibleUserByteScan is the per-byte oracle
+// it must agree with.
 func (h *MPUHardware) AccessibleUser(start, length uint32, kind mpu.AccessKind) bool {
-	for off := uint32(0); off < length; off++ {
-		if h.Check(start+off, kind, false) != nil {
+	return h.AccessMap().AllAllowed(start, length, kind, false)
+}
+
+// AnyAccessibleUser reports whether at least one byte of [start,
+// start+length) is user-accessible for kind; bytes past the top of the
+// address space are ignored.
+func (h *MPUHardware) AnyAccessibleUser(start, length uint32, kind mpu.AccessKind) bool {
+	return h.AccessMap().AnyAllowed(start, length, kind, false)
+}
+
+// AccessibleUserByteScan is the trusted per-byte oracle for
+// AccessibleUser, kept for differential verification of the interval
+// engine. It shares AccessibleUser's end-of-address-space semantics.
+func (h *MPUHardware) AccessibleUserByteScan(start, length uint32, kind mpu.AccessKind) bool {
+	end := uint64(start) + uint64(length)
+	if end > accessmap.AddressSpace {
+		return false
+	}
+	for a := uint64(start); a < end; a++ {
+		if h.Check(uint32(a), kind, false) != nil {
 			return false
 		}
 	}

@@ -301,9 +301,12 @@ func armSignature(k *kernel.Kernel) runSignature {
 // allocator the paper verifies — so must every process's grant region.
 // The monolithic baseline legitimately rounds its accessible span past
 // the app break (the §3.2 disagreement), so the grant clause is only a
-// contract of the granular flavour. Addresses are sampled (start, middle,
-// end of each span); a process whose ConfigureMPU fails is skipped — the
-// kernel would refuse to schedule it, which fails closed.
+// contract of the granular flavour. Each protected span is checked in
+// full through the interval access map — no byte of kernel RAM or of any
+// grant region may be user-accessible, not merely the start/middle/end
+// samples the recheck used to probe. A process whose ConfigureMPU fails
+// is skipped — the kernel would refuse to schedule it, which fails
+// closed.
 func armIsolation(k *kernel.Kernel, granular bool) []string {
 	var violations []string
 	hw := k.Board.Machine.MPU
@@ -312,21 +315,16 @@ func armIsolation(k *kernel.Kernel, granular bool) []string {
 			violations = append(violations, err.Error())
 		}
 	}
-	kernelAddrs := []uint32{
-		kernel.KernelDataBase,
-		kernel.KernelDataBase + kernel.KernelRAMSize/2,
-		kernel.RAMBase + kernel.RAMSize - 4,
-	}
+	kinds := []mpu.AccessKind{mpu.AccessRead, mpu.AccessWrite}
 	for _, p := range k.Procs {
 		if err := p.MM.ConfigureMPU(); err != nil {
 			continue
 		}
-		for _, addr := range kernelAddrs {
-			for _, kind := range []mpu.AccessKind{mpu.AccessRead, mpu.AccessWrite} {
-				record(verify.Require(hw.Check(addr, kind, false) != nil,
-					"faultinject.arm", "kernel-data-isolated",
-					"process %s config allows user %v of kernel data 0x%08x", p.Name, kind, addr))
-			}
+		for _, kind := range kinds {
+			record(verify.Require(!hw.AnyAccessibleUser(kernel.KernelDataBase, kernel.KernelRAMSize, kind),
+				"faultinject.arm", "kernel-data-isolated",
+				"process %s config allows user %v of kernel RAM [0x%08x,+0x%x)",
+				p.Name, kind, kernel.KernelDataBase, kernel.KernelRAMSize))
 		}
 		if granular {
 			for _, q := range k.Procs {
@@ -334,26 +332,17 @@ func armIsolation(k *kernel.Kernel, granular bool) []string {
 				if l.GrantSize() == 0 {
 					continue
 				}
-				for _, addr := range spanSamples(l.KernelBreak, l.MemoryEnd()) {
-					for _, kind := range []mpu.AccessKind{mpu.AccessRead, mpu.AccessWrite} {
-						record(verify.Require(hw.Check(addr, kind, false) != nil,
-							"faultinject.arm", "grant-isolated",
-							"process %s config allows user %v of %s's grant 0x%08x", p.Name, kind, q.Name, addr))
-					}
+				for _, kind := range kinds {
+					record(verify.Require(!hw.AnyAccessibleUser(l.KernelBreak, l.MemoryEnd()-l.KernelBreak, kind),
+						"faultinject.arm", "grant-isolated",
+						"process %s config allows user %v of %s's grant [0x%08x,0x%08x)",
+						p.Name, kind, q.Name, l.KernelBreak, l.MemoryEnd()))
 				}
 			}
 		}
 		p.MM.DisableMPU()
 	}
 	return violations
-}
-
-// spanSamples returns the start, midpoint and last word of [start, end).
-func spanSamples(start, end uint32) []uint32 {
-	if end <= start {
-		return nil
-	}
-	return []uint32{start, start + (end-start)/2, end - 4}
 }
 
 // --- RISC-V port driver ---
@@ -525,7 +514,8 @@ func rvSignature(k *rvkernel.Kernel) runSignature {
 // rvIsolation re-checks the RISC-V isolation contracts after an injected
 // run. The RISC-V port has no IPC, so on top of the kernel-data and
 // grant clauses it can also require every *other* process's entire
-// memory block to be user-inaccessible.
+// memory block to be user-inaccessible. As on ARM, every span is checked
+// in full through the interval access map rather than by sampling.
 func rvIsolation(k *rvkernel.Kernel) []string {
 	var violations []string
 	pmp := k.Machine.PMP
@@ -534,41 +524,33 @@ func rvIsolation(k *rvkernel.Kernel) []string {
 			violations = append(violations, err.Error())
 		}
 	}
-	kernelAddrs := []uint32{
-		rvkernel.KernelDataBase,
-		rvkernel.KernelDataBase + rvkernel.KernelRAMSize/2,
-		rvkernel.RAMBase + rvkernel.RAMSize - 4,
-	}
 	kinds := []mpu.AccessKind{mpu.AccessRead, mpu.AccessWrite}
 	for _, p := range k.Procs {
 		if err := p.Alloc.ConfigureMPU(); err != nil {
 			continue
 		}
-		for _, addr := range kernelAddrs {
-			for _, kind := range kinds {
-				record(verify.Require(pmp.Check(addr, kind, false) != nil,
-					"faultinject.rv", "kernel-data-isolated",
-					"process %s config allows user %v of kernel data 0x%08x", p.Name, kind, addr))
-			}
+		for _, kind := range kinds {
+			record(verify.Require(!pmp.AnyAccessibleUser(rvkernel.KernelDataBase, rvkernel.KernelRAMSize, kind),
+				"faultinject.rv", "kernel-data-isolated",
+				"process %s config allows user %v of kernel RAM [0x%08x,+0x%x)",
+				p.Name, kind, rvkernel.KernelDataBase, rvkernel.KernelRAMSize))
 		}
 		for _, q := range k.Procs {
 			b := q.Alloc.Breaks()
-			for _, addr := range spanSamples(b.KernelBreak(), b.MemoryEnd()) {
-				for _, kind := range kinds {
-					record(verify.Require(pmp.Check(addr, kind, false) != nil,
-						"faultinject.rv", "grant-isolated",
-						"process %s config allows user %v of %s's grant 0x%08x", p.Name, kind, q.Name, addr))
-				}
+			for _, kind := range kinds {
+				record(verify.Require(!pmp.AnyAccessibleUser(b.KernelBreak(), b.MemoryEnd()-b.KernelBreak(), kind),
+					"faultinject.rv", "grant-isolated",
+					"process %s config allows user %v of %s's grant [0x%08x,0x%08x)",
+					p.Name, kind, q.Name, b.KernelBreak(), b.MemoryEnd()))
 			}
 			if q == p {
 				continue
 			}
-			for _, addr := range spanSamples(b.MemoryStart(), b.AppBreak()) {
-				for _, kind := range kinds {
-					record(verify.Require(pmp.Check(addr, kind, false) != nil,
-						"faultinject.rv", "cross-process-isolated",
-						"process %s config allows user %v of %s's memory 0x%08x", p.Name, kind, q.Name, addr))
-				}
+			for _, kind := range kinds {
+				record(verify.Require(!pmp.AnyAccessibleUser(b.MemoryStart(), b.AppBreak()-b.MemoryStart(), kind),
+					"faultinject.rv", "cross-process-isolated",
+					"process %s config allows user %v of %s's memory [0x%08x,0x%08x)",
+					p.Name, kind, q.Name, b.MemoryStart(), b.AppBreak()))
 			}
 		}
 		p.Alloc.DisableMPU()

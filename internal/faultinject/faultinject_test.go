@@ -4,7 +4,9 @@ import (
 	"strings"
 	"testing"
 
+	"ticktock/internal/armv7m"
 	"ticktock/internal/metrics"
+	"ticktock/internal/rv32"
 )
 
 // TestCampaignDeterministic is the seed-reproduction gate: the same seed
@@ -173,5 +175,38 @@ func TestRowsBridgeDivergence(t *testing.T) {
 	}
 	if divergent != rep.Divergent {
 		t.Fatalf("rows count %d divergent, report says %d", divergent, rep.Divergent)
+	}
+}
+
+// TestJitterAccumulatesWhileDisarmed pins the two-glitch regression: two
+// jitter faults striking while the timer is disarmed (the kernel disarms
+// across every trap) must both perturb the next quantum. The old code
+// overwrote the pending delta, silently dropping the first glitch.
+func TestJitterAccumulatesWhileDisarmed(t *testing.T) {
+	tick := &armv7m.SysTick{}
+	tick.Arm(1000)
+	tick.Disarm()
+	tick.Jitter(700)
+	tick.Jitter(-200)
+	tick.Arm(1000)
+	if got := tick.Current(); got != 1500 {
+		t.Fatalf("SysTick after two disarmed glitches: Current() = %d, want 1500 (700-200 applied)", got)
+	}
+
+	clint := &rv32.CLINT{}
+	clint.Arm(1000)
+	clint.Disarm()
+	clint.Jitter(700)
+	clint.Jitter(-200)
+	clint.Arm(1000)
+	// CLINT has no counter getter: the expiry point observes the applied
+	// delta. 1499 cycles must not fire; the 1500th must.
+	clint.Advance(1499)
+	if clint.TakePending() {
+		t.Fatal("CLINT fired before the accumulated jitter elapsed")
+	}
+	clint.Advance(1)
+	if !clint.TakePending() {
+		t.Fatal("CLINT did not fire at the jitter-adjusted expiry")
 	}
 }

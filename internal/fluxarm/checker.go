@@ -119,12 +119,12 @@ func VerifyInterruptIsolation(seeds int, missedModeSwitch bool) []error {
 
 // userCannotTouchKernel double-checks, at the hardware level, that the
 // fixture's MPU configuration denies user access to kernel RAM — the
-// assumption Process()'s unprivileged havoc encodes.
+// assumption Process()'s unprivileged havoc encodes. The interval access
+// map checks the whole kernel stack span and the tail past the process
+// region, not just sampled addresses.
 func userCannotTouchKernel(a *Arm7) bool {
-	for _, addr := range []uint32{0x2000_EF00, 0x2000_F000 - 4, a.ProcEnd + 512} {
-		if a.M.MPU.Check(addr, mpu.AccessWrite, false) == nil {
-			return false
-		}
+	if a.M.MPU.AnyAccessibleUser(0x2000_EF00, 0x2000_F000-0x2000_EF00, mpu.AccessWrite) {
+		return false
 	}
-	return true
+	return !a.M.MPU.AnyAccessibleUser(a.ProcEnd+512, 4, mpu.AccessWrite)
 }

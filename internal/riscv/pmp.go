@@ -14,6 +14,7 @@ package riscv
 import (
 	"fmt"
 
+	"ticktock/internal/accessmap"
 	"ticktock/internal/mpu"
 )
 
@@ -83,6 +84,16 @@ type PMP struct {
 
 	// WriteLog records CSR writes (entry indices) for TCB-order tests.
 	WriteLog []int
+
+	// MapBuilds counts access-map constructions; the cache-invalidation
+	// ablation guard asserts it only moves when the configuration does.
+	MapBuilds uint64
+
+	// gen counts CSR mutations (SetEntry and the unvalidated FlipBits
+	// path); the derived access map is cached against it.
+	gen     uint64
+	amap    *accessmap.Map
+	amapGen uint64
 }
 
 // NewPMP returns a PMP with all entries OFF.
@@ -112,9 +123,37 @@ func (p *PMP) SetEntry(i int, cfg uint8, addrReg uint32) error {
 		// W without R is reserved (spec §3.7.1).
 		return fmt.Errorf("riscv: pmp entry %d has reserved W-without-R encoding", i)
 	}
+	// Enforce the chip's protection granularity at the CSR write path
+	// (spec §3.7.1: with grain G, NAPOT regions span at least 2G and
+	// TOR/OFF address bits below the grain read as zero — surfaced as an
+	// error here so the kernel notices instead of silently protecting a
+	// different range).
+	g := p.Chip.Granularity
+	if g < 4 {
+		g = 4
+	}
+	switch mode {
+	case ANapot:
+		if _, size := napotRange(addrReg); size < 2*uint64(g) {
+			return fmt.Errorf("riscv: pmp entry %d NAPOT size %d below twice the %d-byte granularity of chip %s",
+				i, size, g, p.Chip.Name)
+		}
+	case ANa4:
+		if g > 4 {
+			return fmt.Errorf("riscv: chip %s (granularity %d) does not support NA4", p.Chip.Name, g)
+		}
+	case ATor, AOff:
+		// OFF entries seed the next entry's TOR lower bound, so both
+		// modes carry addresses that must sit on the grain.
+		if a := uint64(addrReg) << 2; a%uint64(g) != 0 {
+			return fmt.Errorf("riscv: pmp entry %d bound 0x%08x not aligned to the %d-byte granularity of chip %s",
+				i, a, g, p.Chip.Name)
+		}
+	}
 	p.cfg[i] = cfg
 	p.addr[i] = addrReg
 	p.WriteLog = append(p.WriteLog, i)
+	p.gen++
 	return nil
 }
 
@@ -132,7 +171,13 @@ func (p *PMP) FlipBits(i int, cfgXor uint8, addrXor uint32) {
 	}
 	p.cfg[i] ^= cfgXor
 	p.addr[i] ^= addrXor
+	p.gen++
 }
+
+// Generation returns the configuration-generation counter: it advances on
+// every CSR mutation (SetEntry and FlipBits), including the unvalidated
+// fault-injection path, so cached derivations can detect staleness.
+func (p *PMP) Generation() uint64 { return p.gen }
 
 // Entry returns the raw CSR values of entry i.
 func (p *PMP) Entry(i int) (cfg uint8, addrReg uint32) { return p.cfg[i], p.addr[i] }
@@ -221,11 +266,71 @@ func (p *PMP) Check(addr uint32, kind mpu.AccessKind, machineMode bool) error {
 	return &mpu.ProtectionError{Addr: addr, Kind: kind, Privileged: false}
 }
 
+// boundaries collects every address at which the PMP decision can change:
+// per entry, the TOR pair's bounds (the lower bound reads the previous
+// entry's pmpaddr regardless of that entry's mode), the NA4 quad, or the
+// decoded NAPOT span.
+func (p *PMP) boundaries() []uint64 {
+	bs := make([]uint64, 0, 2*p.Chip.Entries)
+	for i := 0; i < p.Chip.Entries; i++ {
+		switch p.cfg[i] & CfgAMask >> CfgAShift {
+		case ATor:
+			var lo uint64
+			if i > 0 {
+				lo = uint64(p.addr[i-1]) << 2
+			}
+			bs = append(bs, lo, uint64(p.addr[i])<<2)
+		case ANa4:
+			base := uint64(p.addr[i]) << 2
+			bs = append(bs, base, base+4)
+		case ANapot:
+			base, size := napotRange(p.addr[i])
+			bs = append(bs, base, base+size)
+		}
+	}
+	return bs
+}
+
+// AccessMap returns the interval decision map derived from the current
+// CSR state, rebuilding it only when the configuration generation changed
+// since the last build.
+func (p *PMP) AccessMap() *accessmap.Map {
+	if p.amap == nil || p.amapGen != p.gen {
+		p.amap = accessmap.Build(p.boundaries(), func(addr uint32, kind mpu.AccessKind, privileged bool) bool {
+			return p.Check(addr, kind, privileged) == nil
+		})
+		p.amapGen = p.gen
+		p.MapBuilds++
+	}
+	return p.amap
+}
+
 // AccessibleUser reports whether a user access of kind succeeds for every
-// byte of [start, start+length).
+// byte of [start, start+length). Zero length is vacuously accessible; a
+// range running past the top of the 32-bit address space is not.
+// Answered from the cached interval map; AccessibleUserByteScan is the
+// per-byte oracle it must agree with.
 func (p *PMP) AccessibleUser(start, length uint32, kind mpu.AccessKind) bool {
-	for off := uint32(0); off < length; off++ {
-		if p.Check(start+off, kind, false) != nil {
+	return p.AccessMap().AllAllowed(start, length, kind, false)
+}
+
+// AnyAccessibleUser reports whether at least one byte of [start,
+// start+length) admits a user access of kind; bytes past the top of the
+// address space are ignored.
+func (p *PMP) AnyAccessibleUser(start, length uint32, kind mpu.AccessKind) bool {
+	return p.AccessMap().AnyAllowed(start, length, kind, false)
+}
+
+// AccessibleUserByteScan is the trusted per-byte oracle for
+// AccessibleUser, kept for differential verification of the interval
+// engine. It shares AccessibleUser's end-of-address-space semantics.
+func (p *PMP) AccessibleUserByteScan(start, length uint32, kind mpu.AccessKind) bool {
+	end := uint64(start) + uint64(length)
+	if end > accessmap.AddressSpace {
+		return false
+	}
+	for a := uint64(start); a < end; a++ {
+		if p.Check(uint32(a), kind, false) != nil {
 			return false
 		}
 	}

@@ -222,6 +222,100 @@ func TestPMPNA4Mode(t *testing.T) {
 	}
 }
 
+// TestNAPOTAllOnesFullSpan: an all-ones pmpaddr encodes the largest NAPOT
+// region — 32 trailing ones, so base 0 and size 2^35, covering the entire
+// 32-bit address space. The decode must terminate and the entry must
+// match every address.
+func TestNAPOTAllOnesFullSpan(t *testing.T) {
+	base, size := DecodeNAPOT(0xFFFF_FFFF)
+	if base != 0 || size != 1<<35 {
+		t.Fatalf("DecodeNAPOT(0xFFFFFFFF) = (0x%x, 0x%x), want (0, 2^35)", base, size)
+	}
+	p := NewPMP(ChipHiFive1)
+	if err := p.SetEntry(0, EncodeCfg(mpu.ReadWriteOnly, ANapot), 0xFFFF_FFFF); err != nil {
+		t.Fatal(err)
+	}
+	for _, addr := range []uint32{0, 0x8000_0000, 0xFFFF_FFFF} {
+		if err := p.Check(addr, mpu.AccessRead, false); err != nil {
+			t.Fatalf("all-ones NAPOT entry missed 0x%08x: %v", addr, err)
+		}
+	}
+	if !p.AccessibleUser(0, 0xFFFF_FFFF, mpu.AccessRead) ||
+		!p.AccessibleUser(0xFFFF_FFFF, 1, mpu.AccessRead) {
+		t.Fatal("full-address-space entry denied a range query")
+	}
+}
+
+// TestEncodeNAPOTRoundTripExtremes covers the encoding extremes: the
+// 8-byte architectural minimum and the 2^31 half-address-space maximum.
+func TestEncodeNAPOTRoundTripExtremes(t *testing.T) {
+	for _, c := range []struct {
+		base, size uint32
+	}{
+		{0x2000_0000, 8},
+		{0, 8},
+		{0x8000_0000, 1 << 31},
+		{0, 1 << 31},
+	} {
+		reg, err := EncodeNAPOT(c.base, c.size)
+		if err != nil {
+			t.Fatalf("EncodeNAPOT(0x%x, 0x%x): %v", c.base, c.size, err)
+		}
+		base, size := DecodeNAPOT(reg)
+		if base != uint64(c.base) || size != uint64(c.size) {
+			t.Fatalf("roundtrip (0x%x,0x%x) -> (0x%x,0x%x)", c.base, c.size, base, size)
+		}
+	}
+}
+
+// TestPMPGranularityEnforced: SetEntry rejects configurations finer than
+// the chip's protection granularity — NAPOT regions below twice the
+// grain, NA4 on coarse-grained chips, and TOR/OFF bounds off the grain
+// (spec §3.7.1).
+func TestPMPGranularityEnforced(t *testing.T) {
+	// All stock chips have the 4-byte grain: the finest encodings stay
+	// legal on every one.
+	for _, chip := range Chips {
+		p := NewPMP(chip)
+		reg, _ := EncodeNAPOT(0x8000_0000, 8)
+		if err := p.SetEntry(0, EncodeCfg(mpu.ReadOnly, ANapot), reg); err != nil {
+			t.Fatalf("chip %s rejected minimum NAPOT: %v", chip.Name, err)
+		}
+		if err := p.SetEntry(1, EncodeCfg(mpu.ReadOnly, ANa4), 0x8000_0100>>2); err != nil {
+			t.Fatalf("chip %s rejected NA4: %v", chip.Name, err)
+		}
+	}
+
+	coarse := ChipConfig{Name: "coarse-grain", Entries: 4, Granularity: 16, TORSupported: true}
+	p := NewPMP(coarse)
+	// NAPOT below twice the grain (needs >= 32 bytes here).
+	reg, _ := EncodeNAPOT(0x8000_0000, 16)
+	if err := p.SetEntry(0, EncodeCfg(mpu.ReadOnly, ANapot), reg); err == nil {
+		t.Fatal("16-byte NAPOT accepted on a 16-byte-grain chip (needs 2G = 32)")
+	}
+	reg, _ = EncodeNAPOT(0x8000_0000, 32)
+	if err := p.SetEntry(0, EncodeCfg(mpu.ReadOnly, ANapot), reg); err != nil {
+		t.Fatalf("2G NAPOT rejected: %v", err)
+	}
+	// NA4 cannot exist when the grain exceeds 4 bytes.
+	if err := p.SetEntry(1, EncodeCfg(mpu.ReadOnly, ANa4), 0x8000_0100>>2); err == nil {
+		t.Fatal("NA4 accepted on a 16-byte-grain chip")
+	}
+	// TOR and OFF bounds must sit on the grain.
+	if err := p.SetEntry(1, 0, 0x8000_0008>>2); err == nil {
+		t.Fatal("misaligned OFF bound accepted")
+	}
+	if err := p.SetEntry(1, 0, 0x8000_0010>>2); err != nil {
+		t.Fatalf("aligned OFF bound rejected: %v", err)
+	}
+	if err := p.SetEntry(2, EncodeCfg(mpu.ReadOnly, ATor), 0x8000_0028>>2); err == nil {
+		t.Fatal("misaligned TOR bound accepted")
+	}
+	if err := p.SetEntry(2, EncodeCfg(mpu.ReadOnly, ATor), 0x8000_0030>>2); err != nil {
+		t.Fatalf("aligned TOR bound rejected: %v", err)
+	}
+}
+
 func TestPMPAccessibleUserHelper(t *testing.T) {
 	p := NewPMP(ChipLiteX)
 	reg, _ := EncodeNAPOT(0x8000_0000, 256)

@@ -105,9 +105,9 @@ type CLINT struct {
 	current  uint64
 	pending  bool
 	dropNext bool
-	// pendingJitter is a jitter delta recorded while the timer was
-	// disarmed, applied once at the next Arm (the kernel disarms across
-	// every trap).
+	// pendingJitter accumulates jitter deltas recorded while the timer
+	// was disarmed, applied once at the next Arm (the kernel disarms
+	// across every trap).
 	pendingJitter int64
 	Fired         uint64
 }
@@ -148,11 +148,12 @@ func (c *CLINT) Advance(n uint64) {
 
 // Jitter perturbs the live countdown by delta cycles (fault injection:
 // reference-clock jitter). The count is clamped to at least 1 so the
-// timer never expires retroactively. On a disarmed timer the delta is
-// remembered and applied at the next Arm.
+// timer never expires retroactively. On a disarmed timer the delta
+// accumulates and is applied at the next Arm: successive glitches
+// between quanta must sum, not overwrite each other.
 func (c *CLINT) Jitter(delta int64) {
 	if !c.Enabled {
-		c.pendingJitter = delta
+		c.pendingJitter += delta
 		return
 	}
 	v := int64(c.current) + delta

@@ -44,6 +44,7 @@ const (
 	CompFluxStd    = "Flux-Std"
 	CompFluxArm    = "FluxArm"
 	CompMonolithic = "Monolithic"
+	CompAccessMap  = "AccessMap"
 )
 
 const (
@@ -248,12 +249,11 @@ func BuildGranular(sc Scale) *verify.Registry {
 						t.Failf("configure", "%v", err)
 						continue
 					}
-					if drv.HW.Check(start, mpu.AccessWrite, false) != nil ||
-						drv.HW.Check(end-1, mpu.AccessWrite, false) != nil {
+					if !drv.HW.AccessibleUser(start, end-start, mpu.AccessWrite) {
 						t.Failf("hardware admits span", "span [0x%x,0x%x)", start, end)
 					}
-					if drv.HW.Check(end, mpu.AccessWrite, false) == nil {
-						t.Failf("hardware bound", "admits 0x%x past end", end)
+					if drv.HW.AnyAccessibleUser(end, 4096, mpu.AccessWrite) {
+						t.Failf("hardware bound", "admits bytes in [0x%x,+4096) past end", end)
 					}
 				}
 			},
@@ -341,11 +341,11 @@ func BuildGranular(sc Scale) *verify.Registry {
 					return
 				}
 				b := a.Breaks()
-				if drv.HW.Check(b.MemoryStart(), mpu.AccessWrite, false) != nil {
-					t.Failf("hardware admits span", "start denied")
+				if !drv.HW.AccessibleUser(b.MemoryStart(), b.AppBreak()-b.MemoryStart(), mpu.AccessWrite) {
+					t.Failf("hardware admits span", "[memoryStart, appBreak) not fully writable")
 				}
-				if drv.HW.Check(b.KernelBreak(), mpu.AccessWrite, false) == nil {
-					t.Failf("grant protected", "kernel break writable")
+				if drv.HW.AnyAccessibleUser(b.KernelBreak(), b.MemoryEnd()-b.KernelBreak(), mpu.AccessWrite) {
+					t.Failf("grant protected", "bytes in [kernelBreak, memoryEnd) writable")
 				}
 			},
 		})
@@ -374,11 +374,11 @@ func BuildGranular(sc Scale) *verify.Registry {
 						return
 					}
 					b := a.Breaks()
-					if drv.HW.Check(b.MemoryStart(), mpu.AccessWrite, false) != nil {
-						t.Failf("hardware admits span", "start denied")
+					if !drv.HW.AccessibleUser(b.MemoryStart(), b.AppBreak()-b.MemoryStart(), mpu.AccessWrite) {
+						t.Failf("hardware admits span", "[memoryStart, appBreak) not fully writable")
 					}
-					if drv.HW.Check(b.KernelBreak(), mpu.AccessWrite, false) == nil {
-						t.Failf("grant protected", "kernel break writable")
+					if drv.HW.AnyAccessibleUser(b.KernelBreak(), b.MemoryEnd()-b.KernelBreak(), mpu.AccessWrite) {
+						t.Failf("grant protected", "bytes in [kernelBreak, memoryEnd) writable")
 					}
 				},
 			})
@@ -664,7 +664,7 @@ func BuildEndToEnd(sc Scale) *verify.Registry {
 // BuildAll merges every registry for the Figure 10 effort table.
 func BuildAll(sc Scale) *verify.Registry {
 	r := verify.NewRegistry()
-	for _, sub := range []*verify.Registry{BuildGranular(sc), BuildMonolithic(sc), BuildInterrupts(sc), BuildEndToEnd(sc), BuildSupervision(sc)} {
+	for _, sub := range []*verify.Registry{BuildGranular(sc), BuildMonolithic(sc), BuildInterrupts(sc), BuildEndToEnd(sc), BuildSupervision(sc), BuildAccessMap(sc)} {
 		for _, s := range sub.Specs() {
 			r.Add(s)
 		}

@@ -96,6 +96,25 @@ func TestEndToEndObligationsHold(t *testing.T) {
 	}
 }
 
+func TestAccessMapObligationsHold(t *testing.T) {
+	rep := BuildAccessMap(QuickScale).Run()
+	for _, f := range rep.Failed() {
+		t.Errorf("%s: %v", f.Spec.Name, f.Violations[0])
+	}
+	// Every port contributes: 5 v7-M configs, 3 v8-M configs, and 2-3 per
+	// RISC-V chip depending on TOR support.
+	if len(rep.Results) < 10 {
+		t.Fatalf("only %d access-map obligations registered", len(rep.Results))
+	}
+	// Full declared-domain coverage: the sweep is exhaustive, so any spec
+	// visiting less than its declared domain aborted on a violation.
+	for _, r := range rep.Results {
+		if cov := r.Coverage(); cov < 1 {
+			t.Errorf("%s covered %.2f of its declared domain", r.Spec.Name, cov)
+		}
+	}
+}
+
 func TestSupervisionObligationsHold(t *testing.T) {
 	rep := BuildSupervision(QuickScale).Run()
 	for _, f := range rep.Failed() {
