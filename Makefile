@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench profile cover ablation faultcamp accessbench
+.PHONY: ci fmt vet build test race bench profile cover ablation faultcamp accessbench benchjson replaycheck
 
 # ci is the gate the concurrency-touching paths (parallel difftest
 # campaign, goroutine-safe Stats, tracer, metrics registry) must keep
@@ -38,14 +38,31 @@ cover:
 
 # ablation proves the observability and fault-injection subsystems are
 # free at the simulated-cycle level when idle (tracer, metrics registry,
-# disarmed fault hooks).
+# flight recorder, disarmed fault hooks).
 ablation:
-	$(GO) test -bench 'Ablation_TraceOverhead|Ablation_MetricsOverhead|Ablation_FaultInjectOverhead' -benchtime 1x -run '^$$' .
+	$(GO) test -bench 'Ablation_TraceOverhead|Ablation_MetricsOverhead|Ablation_FaultInjectOverhead|Ablation_FlightRecOverhead' -benchtime 1x -run '^$$' .
 
 # accessbench records the interval access-map engine against the
-# per-byte scan baseline on the 64 KiB acceptance query, per port.
+# per-byte scan baseline on the 64 KiB acceptance query, per port, and
+# emits the machine-readable artifact CI archives.
 accessbench:
 	$(GO) test -bench 'AccessMap' -benchtime 100x -run '^$$' .
+	$(GO) run ./cmd/benchtab -accessmap-json BENCH_accessmap.json
+	$(GO) run ./cmd/benchtab -validate BENCH_accessmap.json
+
+# benchjson emits and validates both machine-readable benchmark
+# artifacts — the perf trajectory CI plots across commits.
+benchjson:
+	$(GO) run ./cmd/benchtab -json BENCH_kernel.json -accessmap-json BENCH_accessmap.json
+	$(GO) run ./cmd/benchtab -validate BENCH_kernel.json,BENCH_accessmap.json
+
+# replaycheck runs the flight-recorder determinism and bisection suite
+# under the race detector: byte-identical recordings, replay == live
+# state on both ports, injected faults replayed from the recording, and
+# seeded difftest divergences bisected to the first divergent field.
+replaycheck:
+	$(GO) test -race -run 'Determinism|Replay|Bisect|FlightRec|FlightFields|Keyframe|Codec|CompareStates|ThreeWay|Dropped' \
+		./internal/flightrec/ ./internal/difftest/ ./internal/trace/ ./internal/armv8m/
 
 # faultcamp runs the seeded fault-injection campaign across both ports
 # (ARM and RISC-V) and fails on any isolation-contract violation or

@@ -18,6 +18,7 @@ import (
 	"ticktock/internal/armv7m"
 	"ticktock/internal/cyclebench"
 	"ticktock/internal/difftest"
+	"ticktock/internal/flightrec"
 	"ticktock/internal/kernel"
 	"ticktock/internal/membench"
 	"ticktock/internal/metrics"
@@ -344,6 +345,51 @@ func BenchmarkAblation_MetricsOverhead(b *testing.B) {
 		}
 		if got := k.Profile().Total(); got != meteredCycles {
 			b.Fatalf("folded-stack invariant broken: profile total %d, meter %d", got, meteredCycles)
+		}
+	}
+	b.ReportMetric(float64(delta), "sim-cycle-delta")
+}
+
+// BenchmarkAblation_FlightRecOverhead guards the flight recorder's
+// zero-simulated-cost guarantee: with a recorder attached — dirty-page
+// tracking on every store, a full snapshot per quantum — the run must
+// reach the identical meter reading, `create` cycle stats and switch
+// count as an unrecorded run. Recording observes the cycle meter, never
+// charges it. The reported metric is the simulated-cycle delta, which
+// must stay 0.
+func BenchmarkAblation_FlightRecOverhead(b *testing.B) {
+	run := func(rec *flightrec.Recorder) (uint64, float64, uint64) {
+		k, err := kernel.New(kernel.Options{Flavour: kernel.FlavourTickTock, Timeslice: 200, FlightRec: rec})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := k.LoadProcess(spinner()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := k.Run(50); err != nil {
+			b.Fatal(err)
+		}
+		return k.Meter().Cycles(), k.Stats.Get("create").Mean(), k.Switches
+	}
+	var delta uint64
+	for i := 0; i < b.N; i++ {
+		plainCycles, plainCreate, plainSwitches := run(nil)
+		rec := flightrec.NewRecorder("ablation")
+		recCycles, recCreate, recSwitches := run(rec)
+		if rec.Snapshots() == 0 {
+			b.Fatal("recorder attached but no snapshots taken")
+		}
+		if plainCreate != recCreate || plainSwitches != recSwitches {
+			b.Fatalf("recording changed the workload: create %v->%v, switches %d->%d",
+				plainCreate, recCreate, plainSwitches, recSwitches)
+		}
+		if recCycles > plainCycles {
+			delta = recCycles - plainCycles
+		} else {
+			delta = plainCycles - recCycles
+		}
+		if delta != 0 {
+			b.Fatalf("recording cost %d simulated cycles (recorded=%d unrecorded=%d)", delta, recCycles, plainCycles)
 		}
 	}
 	b.ReportMetric(float64(delta), "sim-cycle-delta")

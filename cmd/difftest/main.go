@@ -51,6 +51,9 @@ func main() {
 		if r.Divergence != "" {
 			fmt.Printf("\n=== %s divergence trace ===\n%s", r.Name, r.Divergence)
 		}
+		if r.BisectionText != "" {
+			fmt.Printf("\n=== %s flight-recorder bisection ===\n%s\n", r.Name, r.BisectionText)
+		}
 	}
 	if s := difftest.Summarize(rows); s.Unexpected > 0 || s.Errored > 0 {
 		os.Exit(1)

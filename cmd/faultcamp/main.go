@@ -5,17 +5,21 @@
 //
 // Usage:
 //
-//	faultcamp [-seed N] [-n N] [-workers N] [-rows] [-metrics]
+//	faultcamp [-seed N] [-n N] [-workers N] [-rows] [-metrics] [-replay]
 //
 // The same seed reproduces a byte-identical report. The exit status is
 // non-zero when any scenario hit an infrastructure error or — the hard
-// gate — any isolation-contract violation.
+// gate — any isolation-contract violation. With -replay, every violating
+// run is flight-recorded and the machine state immediately before the
+// violation is replayed and printed — the time-travel view of how the
+// contract broke.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"ticktock/internal/difftest"
 	"ticktock/internal/faultinject"
@@ -28,10 +32,21 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	rows := flag.Bool("rows", false, "print the per-scenario cross-port table")
 	metricsOut := flag.Bool("metrics", false, "print the fault_* series in Prometheus exposition format")
+	replay := flag.Bool("replay", false, "flight-record violating runs and print their pre-violation state")
 	flag.Parse()
 
-	rep := faultinject.Run(faultinject.Config{Seed: *seed, N: *n, Workers: *workers})
+	rep := faultinject.Run(faultinject.Config{Seed: *seed, N: *n, Workers: *workers, Record: *replay})
 	fmt.Print(rep.Text())
+
+	if *replay {
+		for _, res := range rep.Results {
+			for _, pr := range []faultinject.PortResult{res.ARM, res.RV} {
+				if pr.Replay != nil {
+					printViolationReplay(res.Scenario, pr)
+				}
+			}
+		}
+	}
 
 	if *rows {
 		fmt.Println()
@@ -55,4 +70,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "faultcamp: %d scenario error(s)\n", rep.ARM.Errors+rep.RV.Errors)
 		os.Exit(1)
 	}
+}
+
+// printViolationReplay rewinds the violating run's recording to its final
+// snapshot and dumps the machine state — what the world looked like when
+// the isolation sweep caught the contract breach.
+func printViolationReplay(sc faultinject.Scenario, pr faultinject.PortResult) {
+	fmt.Printf("\nscenario #%d on %s violated isolation:\n", sc.Index, pr.Port)
+	for _, v := range pr.Violations {
+		fmt.Printf("  - %s\n", v)
+	}
+	s, err := pr.Replay.ReplayTo(pr.Replay.FinalCycle())
+	if err != nil {
+		fmt.Printf("  (replay failed: %v)\n", err)
+		return
+	}
+	fmt.Printf("  replayed state at cycle %d (snapshot %d, %q):\n", s.Cycle, s.Index, s.Label)
+	fields := s.Fields()
+	sort.Slice(fields, func(i, j int) bool { return fields[i].Name < fields[j].Name })
+	for _, f := range fields {
+		fmt.Printf("    %-24s 0x%08x\n", f.Name, f.Val)
+	}
+	fmt.Printf("    %-24s 0x%016x\n", "mem.digest", s.MemDigest())
 }

@@ -8,12 +8,14 @@
 //
 //	tracetab -list
 //	tracetab -case mpu_walk_region [-flavour ticktock|tock] [-format text|chrome] [-cap N] [-o FILE]
+//	         [-from-cycle N] [-to-cycle N]
 //
 // Examples:
 //
 //	tracetab -case grant_test                         # text timeline on stdout
 //	tracetab -case blink -format chrome -o blink.json # open in chrome://tracing
 //	tracetab -case timer_test -flavour tock           # trace the baseline kernel
+//	tracetab -case blink -from-cycle 5000 -to-cycle 9000   # zoom into a window
 package main
 
 import (
@@ -34,6 +36,8 @@ func main() {
 	format := flag.String("format", "text", "output format: text or chrome")
 	capacity := flag.Int("cap", 1<<17, "trace ring-buffer capacity in events")
 	outPath := flag.String("o", "", "write output to FILE instead of stdout")
+	fromCycle := flag.Uint64("from-cycle", 0, "only render events at or after this cycle")
+	toCycle := flag.Uint64("to-cycle", ^uint64(0), "only render events at or before this cycle")
 	flag.Parse()
 
 	cases := apps.All()
@@ -86,9 +90,9 @@ func main() {
 
 	switch *format {
 	case "text":
-		err = tr.ExportText(w)
+		err = tr.ExportTextWindow(w, *fromCycle, *toCycle)
 	case "chrome":
-		err = tr.ExportChromeJSON(w)
+		err = tr.ExportChromeJSONWindow(w, *fromCycle, *toCycle)
 	default:
 		fmt.Fprintf(os.Stderr, "tracetab: unknown format %q\n", *format)
 		os.Exit(2)

@@ -1,0 +1,99 @@
+// Package benchjson defines the machine-readable benchmark artifact the
+// CI pipeline archives on every run (BENCH_kernel.json,
+// BENCH_accessmap.json). The schema is deliberately tiny — one row per
+// benchmark with wall time, simulated cycles and the speedup against the
+// suite's oracle baseline — so a perf trajectory can be plotted across
+// commits without parsing `go test -bench` text.
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Schema is the current artifact schema version. Bump on any
+// field change so downstream tooling can reject files it does not
+// understand.
+const Schema = 1
+
+// Row is one benchmark result.
+type Row struct {
+	// Name identifies the benchmark, slash-separated ("kctx/ticktock",
+	// "accessmap/armv7m").
+	Name string `json:"name"`
+	// NsPerOp is the measured wall time per operation in nanoseconds.
+	NsPerOp float64 `json:"ns_per_op"`
+	// SimCycles is the simulated-cycle cost per operation (0 when the
+	// benchmark has no cycle model, e.g. pure host-side queries).
+	SimCycles float64 `json:"sim_cycles"`
+	// Speedup is the ratio oracle-cost / this-cost, where the oracle is
+	// the suite's reference implementation (the per-byte scan for the
+	// access map, the monolithic baseline kernel for the method costs).
+	// 1.0 means parity; 0 means no oracle applies.
+	Speedup float64 `json:"speedup_vs_oracle"`
+}
+
+// File is one benchmark artifact.
+type File struct {
+	Schema int    `json:"schema"`
+	Suite  string `json:"suite"`
+	Rows   []Row  `json:"rows"`
+}
+
+// Validate checks the invariants CI enforces before archiving: known
+// schema, named suite, at least one row, and every row named with sane
+// numbers.
+func (f *File) Validate() error {
+	if f.Schema != Schema {
+		return fmt.Errorf("benchjson: schema %d, want %d", f.Schema, Schema)
+	}
+	if f.Suite == "" {
+		return fmt.Errorf("benchjson: missing suite name")
+	}
+	if len(f.Rows) == 0 {
+		return fmt.Errorf("benchjson: suite %s has no rows", f.Suite)
+	}
+	seen := make(map[string]bool, len(f.Rows))
+	for i, r := range f.Rows {
+		if r.Name == "" {
+			return fmt.Errorf("benchjson: row %d of %s is unnamed", i, f.Suite)
+		}
+		if seen[r.Name] {
+			return fmt.Errorf("benchjson: duplicate row %s in %s", r.Name, f.Suite)
+		}
+		seen[r.Name] = true
+		if r.NsPerOp < 0 || r.SimCycles < 0 || r.Speedup < 0 {
+			return fmt.Errorf("benchjson: row %s has a negative measurement", r.Name)
+		}
+	}
+	return nil
+}
+
+// WriteFile validates f and writes it as indented JSON.
+func WriteFile(path string, f *File) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile parses and validates an artifact.
+func ReadFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}

@@ -1,0 +1,79 @@
+package benchjson
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func valid() *File {
+	return &File{
+		Schema: Schema,
+		Suite:  "kernel",
+		Rows: []Row{
+			{Name: "kctx/ticktock", NsPerOp: 120.5, SimCycles: 260, Speedup: 1.02},
+			{Name: "kctx/tock", NsPerOp: 118.2, SimCycles: 255, Speedup: 1},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	f := valid()
+	if err := WriteFile(path, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Suite != f.Suite || len(got.Rows) != len(f.Rows) || got.Rows[0] != f.Rows[0] {
+		t.Fatalf("round trip mangled the file: %+v", got)
+	}
+	// The artifact is the contract: field names are part of the schema.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"schema"`, `"suite"`, `"rows"`, `"name"`, `"ns_per_op"`, `"sim_cycles"`, `"speedup_vs_oracle"`} {
+		if !strings.Contains(string(raw), key) {
+			t.Fatalf("artifact missing %s key:\n%s", key, raw)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*File)
+		want   string
+	}{
+		{"bad schema", func(f *File) { f.Schema = 2 }, "schema"},
+		{"no suite", func(f *File) { f.Suite = "" }, "suite"},
+		{"no rows", func(f *File) { f.Rows = nil }, "no rows"},
+		{"unnamed row", func(f *File) { f.Rows[1].Name = "" }, "unnamed"},
+		{"duplicate row", func(f *File) { f.Rows[1].Name = f.Rows[0].Name }, "duplicate"},
+		{"negative", func(f *File) { f.Rows[0].NsPerOp = -1 }, "negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := valid()
+			tc.mutate(f)
+			err := f.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %v, want error mentioning %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestReadFileRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Fatal("garbage parsed")
+	}
+}

@@ -1,0 +1,120 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+
+	"ticktock/internal/apps"
+	"ticktock/internal/flightrec"
+	"ticktock/internal/kernel"
+	"ticktock/internal/monolithic"
+)
+
+func caseByName(t *testing.T, name string) apps.TestCase {
+	t.Helper()
+	for _, tc := range apps.All() {
+		if tc.Name == name {
+			return tc
+		}
+	}
+	t.Fatalf("no case %q", name)
+	return apps.TestCase{}
+}
+
+// TestBisectSeededDivergence is the acceptance regression: the same
+// flavour run clean and with the tock#4246 missed-mode-switch bug seeded
+// must bisect to the first divergent snapshot, and the disagreeing field
+// must be the CONTROL register the bug corrupts — the privilege drop is
+// the *first* visible difference, before any downstream behaviour
+// diverges.
+func TestBisectSeededDivergence(t *testing.T) {
+	tc := caseByName(t, "mpu_walk_region")
+	_, clean, err := RunRecorded(tc, kernel.FlavourTickTock, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, buggy, err := RunRecorded(tc, kernel.FlavourTickTock,
+		Config{Bugs: monolithic.BugSet{MissedModeSwitch: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	div, err := flightrec.Bisect(clean, buggy, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div == nil {
+		t.Fatal("seeded bug produced no divergence")
+	}
+	if div.Field != "cpu.control" {
+		t.Fatalf("first divergent field %s (A=0x%x B=0x%x at snapshot %d), want cpu.control",
+			div.Field, div.A, div.B, div.Index)
+	}
+	// The clean run dropped privilege (nPRIV set), the buggy one did not.
+	if div.A&1 != 1 || div.B&1 != 0 {
+		t.Fatalf("cpu.control A=0x%x B=0x%x, want nPRIV set/clear", div.A, div.B)
+	}
+	if div.Steps == 0 {
+		t.Fatal("no bisection steps recorded")
+	}
+}
+
+// TestRowBisectionOnUnexpectedDivergence forces an unexpected campaign
+// result (the missed-mode-switch bug makes mpu_walk_region come back
+// equal when a difference is expected) and checks the row carries the
+// automatic bisection report. In this scenario both flavours share the
+// bug, so the behavioural timelines agree snapshot-for-snapshot and the
+// bisection's finding *is* that the expected divergence vanished.
+func TestRowBisectionOnUnexpectedDivergence(t *testing.T) {
+	tc := caseByName(t, "mpu_walk_region")
+	row := RunCaseConfig(tc, Config{Bugs: monolithic.BugSet{MissedModeSwitch: true}})
+	if row.Err != nil {
+		t.Fatal(row.Err)
+	}
+	if row.OK() {
+		t.Fatal("seeded bug did not force an unexpected result")
+	}
+	if row.BisectionText == "" {
+		t.Fatal("unexpected divergence carried no bisection report")
+	}
+	if row.Bisection != nil {
+		t.Fatalf("behavioural timelines agree under the shared bug, yet bisection reported %s", row.BisectionText)
+	}
+	if !strings.Contains(row.BisectionText, "no snapshot-level divergence") {
+		t.Fatalf("bisection report %q should explain the vanished divergence", row.BisectionText)
+	}
+}
+
+// TestCrossFlavourBisectionNamesBehaviouralField bisects a case whose
+// outputs legitimately differ across flavours (sensors prints
+// cycle-dependent values): with the CrossFlavourIgnore filter the
+// divergence must land on a behavioural field — an output digest, a
+// process state or the LED bank — never on a cycle-dependent register.
+func TestCrossFlavourBisectionNamesBehaviouralField(t *testing.T) {
+	tc := caseByName(t, "sensors")
+	if !tc.ExpectDiff {
+		t.Fatal("sensors is expected to differ across flavours")
+	}
+	_, tt, err := RunRecorded(tc, kernel.FlavourTickTock, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tk, err := RunRecorded(tc, kernel.FlavourTock, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	div, err := flightrec.Bisect(tt, tk, CrossFlavourIgnore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div == nil {
+		t.Fatal("expected-diff case shows no behavioural divergence")
+	}
+	behavioural := strings.HasPrefix(div.Field, "out.") || strings.HasSuffix(div.Field, ".state") ||
+		div.Field == "kern.leds" || div.Field == "snapshot-count"
+	if !behavioural {
+		t.Fatalf("cross-flavour bisection named non-behavioural field %s", div.Field)
+	}
+	if !strings.Contains(div.String(), div.Field) {
+		t.Fatalf("divergence report %q does not name its field", div.String())
+	}
+}

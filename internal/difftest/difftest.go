@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"ticktock/internal/apps"
+	"ticktock/internal/flightrec"
 	"ticktock/internal/kernel"
 	"ticktock/internal/metrics"
 	"ticktock/internal/monolithic"
@@ -70,6 +71,12 @@ type Row struct {
 	// Divergence holds the side-by-side event-trace dump captured when
 	// the row's result did not match its expectation.
 	Divergence string
+	// Bisection pinpoints the first divergent flight-recorder snapshot
+	// between the two flavours (and the disagreeing field) for rows that
+	// did not match their expectation; BisectionText is its rendering.
+	// Nil/empty when the row is OK, errored, or dumps are disabled.
+	Bisection     *flightrec.Divergence
+	BisectionText string
 	// Per-flavour metric snapshots and cycle profiles, populated when
 	// Config.Metrics is set (nil otherwise).
 	TickTockMetrics *metrics.Registry
@@ -85,8 +92,8 @@ func (r Row) OK() bool { return r.Err == nil && r.Equal != r.ExpectDiff }
 // runOn executes the case on one kernel flavour, optionally under a
 // tracer, and returns the kernel plus the combined output and final
 // states.
-func runOn(tc apps.TestCase, fl kernel.Flavour, bugs monolithic.BugSet, tr *trace.Tracer, reg *metrics.Registry) (*kernel.Kernel, string, string, error) {
-	k, err := kernel.New(kernel.Options{Flavour: fl, Bugs: bugs, Trace: tr, Metrics: reg})
+func runOn(tc apps.TestCase, fl kernel.Flavour, bugs monolithic.BugSet, tr *trace.Tracer, reg *metrics.Registry, rec *flightrec.Recorder) (*kernel.Kernel, string, string, error) {
+	k, err := kernel.New(kernel.Options{Flavour: fl, Bugs: bugs, Trace: tr, Metrics: reg, FlightRec: rec})
 	if err != nil {
 		return nil, "", "", err
 	}
@@ -119,8 +126,23 @@ func runOn(tc apps.TestCase, fl kernel.Flavour, bugs monolithic.BugSet, tr *trac
 // tracetab CLI and the trace-accounting checks.
 func RunTraced(tc apps.TestCase, fl kernel.Flavour, capacity int) (*kernel.Kernel, *trace.Tracer, error) {
 	tr := trace.New(capacity)
-	k, _, _, err := runOn(tc, fl, monolithic.BugSet{}, tr, nil)
+	k, _, _, err := runOn(tc, fl, monolithic.BugSet{}, tr, nil, nil)
 	return k, tr, err
+}
+
+// RunRecorded executes one case on one flavour under the flight recorder
+// (with tracing, so the recording interleaves the event stream) and
+// returns the finished kernel and its recording — the entry point for
+// the replay CLI, the determinism checks and divergence bisection.
+// cfg.Bugs and cfg.TraceCapacity apply; the other fields are ignored.
+func RunRecorded(tc apps.TestCase, fl kernel.Flavour, cfg Config) (*kernel.Kernel, *flightrec.Recording, error) {
+	tr := trace.New(cfg.TraceCapacity)
+	rec := flightrec.NewRecorder(fl.String())
+	k, _, _, err := runOn(tc, fl, cfg.Bugs, tr, nil, rec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return k, rec.Finish(), nil
 }
 
 // RunMeasured executes one case on one flavour with metrics enabled and
@@ -129,7 +151,7 @@ func RunTraced(tc apps.TestCase, fl kernel.Flavour, capacity int) (*kernel.Kerne
 // k.Profile().
 func RunMeasured(tc apps.TestCase, fl kernel.Flavour) (*kernel.Kernel, *metrics.Registry, error) {
 	reg := metrics.NewRegistry()
-	k, _, _, err := runOn(tc, fl, monolithic.BugSet{}, nil, reg)
+	k, _, _, err := runOn(tc, fl, monolithic.BugSet{}, nil, reg, nil)
 	return k, reg, err
 }
 
@@ -145,12 +167,12 @@ func RunCaseConfig(tc apps.TestCase, cfg Config) Row {
 	if cfg.Metrics {
 		ttReg, tkReg = metrics.NewRegistry(), metrics.NewRegistry()
 	}
-	ttK, tt, ttStates, err := runOn(tc, kernel.FlavourTickTock, cfg.Bugs, nil, ttReg)
+	ttK, tt, ttStates, err := runOn(tc, kernel.FlavourTickTock, cfg.Bugs, nil, ttReg, nil)
 	if err != nil {
 		row.Err = err
 		return row
 	}
-	tkK, tk, tkStates, err := runOn(tc, kernel.FlavourTock, cfg.Bugs, nil, tkReg)
+	tkK, tk, tkStates, err := runOn(tc, kernel.FlavourTock, cfg.Bugs, nil, tkReg, nil)
 	if err != nil {
 		row.Err = err
 		return row
@@ -164,8 +186,46 @@ func RunCaseConfig(tc apps.TestCase, cfg Config) Row {
 	row.TickTockStates, row.TockStates = ttStates, tkStates
 	if !row.OK() && !cfg.NoTraceDump {
 		row.Divergence = divergenceDump(tc, cfg)
+		row.Bisection, row.BisectionText = bisectDivergence(tc, cfg)
 	}
 	return row
+}
+
+// CrossFlavourIgnore is the comparison filter for bisecting *between*
+// flavours: the two kernels legitimately differ cycle-by-cycle (the
+// granular MPU abstraction costs different cycle counts, so timers,
+// stack contents and register files drift apart without anything being
+// wrong). Only the behaviourally-meaningful fields are compared: the
+// per-process console-output digests, the lifecycle states, and the LED
+// bank — exactly the signals the §6.1 campaign diffs.
+func CrossFlavourIgnore(name string) bool {
+	if strings.HasPrefix(name, "out.") || strings.HasSuffix(name, ".state") || name == "kern.leds" {
+		return false
+	}
+	return true
+}
+
+// bisectDivergence records the case on both flavours under the flight
+// recorder and binary-searches for the first snapshot where the
+// behavioural fields disagree — turning "the outputs differ" into "the
+// first wrong write happened in this quantum, in this field".
+func bisectDivergence(tc apps.TestCase, cfg Config) (*flightrec.Divergence, string) {
+	_, ttRec, ttErr := RunRecorded(tc, kernel.FlavourTickTock, cfg)
+	_, tkRec, tkErr := RunRecorded(tc, kernel.FlavourTock, cfg)
+	if ttErr != nil || tkErr != nil {
+		return nil, fmt.Sprintf("bisection re-run errors: ticktock=%v tock=%v", ttErr, tkErr)
+	}
+	div, err := flightrec.Bisect(ttRec, tkRec, CrossFlavourIgnore)
+	if err != nil {
+		return nil, fmt.Sprintf("bisection failed: %v", err)
+	}
+	if div == nil {
+		// The behavioural fields never diverge at quantum granularity —
+		// e.g. the outputs differ only in cycle-dependent values that
+		// hash differently but the dump already shows.
+		return nil, "bisection: no snapshot-level divergence in behavioural fields"
+	}
+	return div, div.String()
 }
 
 // divergenceDump re-runs the case on both flavours under tracing and
@@ -174,8 +234,8 @@ func RunCaseConfig(tc apps.TestCase, cfg Config) Row {
 func divergenceDump(tc apps.TestCase, cfg Config) string {
 	ttTr := trace.New(cfg.TraceCapacity)
 	tkTr := trace.New(cfg.TraceCapacity)
-	_, _, _, ttErr := runOn(tc, kernel.FlavourTickTock, cfg.Bugs, ttTr, nil)
-	_, _, _, tkErr := runOn(tc, kernel.FlavourTock, cfg.Bugs, tkTr, nil)
+	_, _, _, ttErr := runOn(tc, kernel.FlavourTickTock, cfg.Bugs, ttTr, nil, nil)
+	_, _, _, tkErr := runOn(tc, kernel.FlavourTock, cfg.Bugs, tkTr, nil, nil)
 	var b strings.Builder
 	if ttErr != nil || tkErr != nil {
 		fmt.Fprintf(&b, "trace re-run errors: ticktock=%v tock=%v\n", ttErr, tkErr)

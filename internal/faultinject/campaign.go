@@ -10,6 +10,7 @@ import (
 	"ticktock/internal/apps"
 	"ticktock/internal/armv7m"
 	"ticktock/internal/difftest"
+	"ticktock/internal/flightrec"
 	"ticktock/internal/kernel"
 	"ticktock/internal/mpu"
 	"ticktock/internal/physmem"
@@ -93,6 +94,29 @@ func RunScenario(sc Scenario, cfg Config) Result {
 	}
 }
 
+// RecordScenario re-runs one scenario's *injected* run on both ports
+// under the flight recorder, regardless of outcome, and returns the two
+// recordings. The runs are deterministic, so replaying either recording
+// reproduces the injected faults exactly as the campaign saw them — the
+// injection comes back from the recorded state, it is never re-rolled.
+func RecordScenario(sc Scenario, cfg Config) (arm, rv *flightrec.Recording, err error) {
+	cfg = cfg.withDefaults()
+	armPort := "arm-ticktock"
+	if sc.Monolithic {
+		armPort = "arm-tock"
+	}
+	armRec := flightrec.NewRecorder(armPort)
+	if _, _, _, err := armRun(sc, cfg, true, armRec); err != nil {
+		return nil, nil, fmt.Errorf("faultinject: recording %s: %w", armPort, err)
+	}
+	chip := riscv.Chips[sc.Chip%len(riscv.Chips)]
+	rvRec := flightrec.NewRecorder("rv32-" + chip.Name)
+	if _, _, _, err := rvRun(sc, cfg, chip, true, rvRec); err != nil {
+		return nil, nil, fmt.Errorf("faultinject: recording rv32-%s: %w", chip.Name, err)
+	}
+	return armRec.Finish(), rvRec.Finish(), nil
+}
+
 // classifyPort folds the baseline/injected pair into a PortResult.
 func classifyPort(port string, base, inj runSignature, applied bool, violations []string) PortResult {
 	pr := PortResult{Port: port, Applied: applied, Violations: violations}
@@ -110,15 +134,23 @@ func runARMScenario(sc Scenario, cfg Config) PortResult {
 	if sc.Monolithic {
 		port = "arm-tock"
 	}
-	base, _, _, err := armRun(sc, cfg, false)
+	base, _, _, err := armRun(sc, cfg, false, nil)
 	if err != nil {
 		return PortResult{Port: port, Err: err.Error()}
 	}
-	inj, violations, applied, err := armRun(sc, cfg, true)
+	var rec *flightrec.Recorder
+	if cfg.Record {
+		rec = flightrec.NewRecorder(port)
+	}
+	inj, violations, applied, err := armRun(sc, cfg, true, rec)
 	if err != nil {
 		return PortResult{Port: port, Err: err.Error()}
 	}
-	return classifyPort(port, base, inj, applied, violations)
+	pr := classifyPort(port, base, inj, applied, violations)
+	if rec != nil && len(violations) > 0 {
+		pr.Replay = rec.Finish()
+	}
+	return pr
 }
 
 // armRun executes the scenario's test case once on the ARM port,
@@ -127,7 +159,7 @@ func runARMScenario(sc Scenario, cfg Config) PortResult {
 // nth event; boundary injections fire at the scenario's scheduling
 // quantum. It returns the run signature, the isolation sweep's findings
 // (injected runs only) and whether the injection actually fired.
-func armRun(sc Scenario, cfg Config, inject bool) (runSignature, []string, bool, error) {
+func armRun(sc Scenario, cfg Config, inject bool, rec *flightrec.Recorder) (runSignature, []string, bool, error) {
 	tc, ok := armCases()[sc.App]
 	if !ok {
 		return runSignature{}, nil, false, fmt.Errorf("faultinject: no ARM case %q", sc.App)
@@ -146,6 +178,7 @@ func armRun(sc Scenario, cfg Config, inject bool) (runSignature, []string, bool,
 		MaxRestarts: cfg.MaxRestarts,
 		Watchdog:    cfg.Watchdog,
 		BackoffBase: cfg.BackoffBase,
+		FlightRec:   rec,
 	}
 	applied := false
 	var machine *armv7m.Machine
@@ -350,19 +383,27 @@ func armIsolation(k *kernel.Kernel, granular bool) []string {
 func runRVScenario(sc Scenario, cfg Config) PortResult {
 	chip := riscv.Chips[sc.Chip%len(riscv.Chips)]
 	port := "rv32-" + chip.Name
-	base, _, _, err := rvRun(sc, cfg, chip, false)
+	base, _, _, err := rvRun(sc, cfg, chip, false, nil)
 	if err != nil {
 		return PortResult{Port: port, Err: err.Error()}
 	}
-	inj, violations, applied, err := rvRun(sc, cfg, chip, true)
+	var rec *flightrec.Recorder
+	if cfg.Record {
+		rec = flightrec.NewRecorder(port)
+	}
+	inj, violations, applied, err := rvRun(sc, cfg, chip, true, rec)
 	if err != nil {
 		return PortResult{Port: port, Err: err.Error()}
 	}
-	return classifyPort(port, base, inj, applied, violations)
+	pr := classifyPort(port, base, inj, applied, violations)
+	if rec != nil && len(violations) > 0 {
+		pr.Replay = rec.Finish()
+	}
+	return pr
 }
 
 // rvRun is the RISC-V twin of armRun.
-func rvRun(sc Scenario, cfg Config, chip riscv.ChipConfig, inject bool) (runSignature, []string, bool, error) {
+func rvRun(sc Scenario, cfg Config, chip riscv.ChipConfig, inject bool, rec *flightrec.Recorder) (runSignature, []string, bool, error) {
 	app, ok := rvApps()[sc.App]
 	if !ok {
 		return runSignature{}, nil, false, fmt.Errorf("faultinject: no RISC-V app %q", sc.App)
@@ -371,6 +412,7 @@ func rvRun(sc Scenario, cfg Config, chip riscv.ChipConfig, inject bool) (runSign
 	if err != nil {
 		return runSignature{}, nil, false, err
 	}
+	k.AttachFlightRec(rec)
 	k.FaultPolicy = rvkernel.PolicyRestart
 	if sc.Quarantine {
 		k.FaultPolicy = rvkernel.PolicyQuarantine

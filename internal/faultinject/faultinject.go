@@ -31,6 +31,7 @@ import (
 	"math/rand"
 	"strings"
 
+	"ticktock/internal/flightrec"
 	"ticktock/internal/metrics"
 )
 
@@ -137,6 +138,12 @@ type Config struct {
 	MaxRestarts int
 	Watchdog    int
 	BackoffBase uint64
+	// Record runs each injected run under the flight recorder and
+	// attaches the recording to any PortResult whose isolation sweep
+	// found violations, so the pre-violation machine state can be
+	// replayed (cmd/faultcamp -replay). Recording observes the cycle
+	// meter but never charges it, so classifications are unchanged.
+	Record bool
 }
 
 // DefaultScenarios is the campaign size the acceptance bar asks for.
@@ -311,6 +318,10 @@ type PortResult struct {
 	// Err records an infrastructure failure (the run could not be
 	// completed); stored as a string to keep the report comparable.
 	Err string
+	// Replay holds the injected run's flight recording when
+	// Config.Record is set and the isolation sweep found violations —
+	// the time-travel handle for inspecting pre-violation state.
+	Replay *flightrec.Recording
 }
 
 // Result pairs the two ports' outcomes for one scenario.

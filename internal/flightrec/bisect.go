@@ -1,0 +1,204 @@
+package flightrec
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FieldDiff is one disagreement between two states: a named scalar
+// field, or a memory byte (Name "mem@0xADDR", values are the bytes).
+type FieldDiff struct {
+	Name string
+	A, B uint64
+}
+
+// CompareStates diffs two reconstructed states field-by-field and then
+// byte-by-byte over the union of their page sets (a page missing on one
+// side compares as zeros — untouched memory is zero by construction).
+// ignore, when non-nil, filters out fields and memory addresses that are
+// not meaningful to compare (e.g. cycle-dependent values across kernel
+// flavours). Diffs come back in a deterministic order: fields in A's
+// capture order, then B-only fields sorted, then memory by address.
+func CompareStates(a, b *State, ignore func(name string) bool) []FieldDiff {
+	skip := func(name string) bool { return ignore != nil && ignore(name) }
+	var diffs []FieldDiff
+	seen := make(map[string]bool, len(a.order))
+	for _, name := range a.order {
+		seen[name] = true
+		if skip(name) {
+			continue
+		}
+		av := a.fields[name]
+		bv, ok := b.fields[name]
+		if !ok || av != bv {
+			diffs = append(diffs, FieldDiff{Name: name, A: av, B: bv})
+		}
+	}
+	var bOnly []string
+	for name := range b.fields {
+		if !seen[name] && !skip(name) {
+			bOnly = append(bOnly, name)
+		}
+	}
+	sort.Strings(bOnly)
+	for _, name := range bOnly {
+		diffs = append(diffs, FieldDiff{Name: name, A: 0, B: b.fields[name]})
+	}
+
+	bases := mergeSorted(a.PageBases(), b.PageBases())
+	for _, base := range bases {
+		pa, pb := a.pages[base], b.pages[base]
+		n := len(pa)
+		if len(pb) > n {
+			n = len(pb)
+		}
+		for off := 0; off < n; off++ {
+			var va, vb byte
+			if off < len(pa) {
+				va = pa[off]
+			}
+			if off < len(pb) {
+				vb = pb[off]
+			}
+			if va == vb {
+				continue
+			}
+			name := fmt.Sprintf("mem@0x%08x", base+uint32(off))
+			if skip(name) {
+				continue
+			}
+			diffs = append(diffs, FieldDiff{Name: name, A: uint64(va), B: uint64(vb)})
+		}
+	}
+	return diffs
+}
+
+// Divergence is the result of bisecting two recordings: the first
+// snapshot index at which the compared state disagrees, and the first
+// disagreeing field at that snapshot.
+type Divergence struct {
+	// Index is the first divergent snapshot (the same quantum ordinal on
+	// both timelines).
+	Index int
+	// CycleA/CycleB are the snapshot cycles on each side (they may
+	// legitimately differ across kernel flavours).
+	CycleA, CycleB uint64
+	// Field names the offending state: a register ("cpu.control"), an
+	// MPU/PMP slot ("mpu.rasr3", "pmp.cfg5"), a memory address
+	// ("mem@0x20001234"), a process field ("proc.0.state") or an output
+	// digest ("out.1").
+	Field string
+	// A and B are the disagreeing values.
+	A, B uint64
+	// Steps counts the bisection probes taken to localize the index.
+	Steps int
+	// EventsA/EventsB count the trace events in the divergent
+	// snapshot's window on each side — the slice a tracetab
+	// -from-cycle/-to-cycle dump should be scoped to.
+	EventsA, EventsB int
+}
+
+// String renders the divergence for reports.
+func (d *Divergence) String() string {
+	return fmt.Sprintf("first divergence at snapshot %d (cycle A=%d B=%d): field %s A=0x%x B=0x%x (%d bisection steps)",
+		d.Index, d.CycleA, d.CycleB, d.Field, d.A, d.B, d.Steps)
+}
+
+// Bisect binary-searches two recorded timelines for the first snapshot
+// where the compared state disagrees, and names the offending field.
+// Snapshot i on each side is the state after the i-th scheduling
+// quantum, so indices line up across ports and flavours even when cycle
+// counts differ. ignore filters the comparison like CompareStates.
+//
+// Returns nil when the compared state never diverges over the common
+// prefix and both recordings have the same length; when only the lengths
+// differ, the divergence reports field "snapshot-count".
+//
+// Divergence monotonicity holds because the machines are deterministic:
+// once the compared state differs it stays different (state determines
+// all future state), which is what licenses the binary search.
+func Bisect(a, b *Recording, ignore func(name string) bool) (*Divergence, error) {
+	n := len(a.Snapshots)
+	if len(b.Snapshots) < n {
+		n = len(b.Snapshots)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("flightrec: bisecting an empty recording")
+	}
+	steps := 0
+	diffAt := func(i int) ([]FieldDiff, error) {
+		steps++
+		if a.mBisect != nil {
+			a.mBisect.Inc()
+		}
+		sa, err := a.ReplayAt(i)
+		if err != nil {
+			return nil, err
+		}
+		sb, err := b.ReplayAt(i)
+		if err != nil {
+			return nil, err
+		}
+		return CompareStates(sa, sb, ignore), nil
+	}
+	last, err := diffAt(n - 1)
+	if err != nil {
+		return nil, err
+	}
+	if len(last) == 0 {
+		if len(a.Snapshots) == len(b.Snapshots) {
+			return nil, nil
+		}
+		return &Divergence{
+			Index:  n - 1,
+			CycleA: a.Snapshots[n-1].Cycle,
+			CycleB: b.Snapshots[n-1].Cycle,
+			Field:  "snapshot-count",
+			A:      uint64(len(a.Snapshots)),
+			B:      uint64(len(b.Snapshots)),
+			Steps:  steps,
+		}, nil
+	}
+	var probeErr error
+	idx := sort.Search(n, func(i int) bool {
+		if probeErr != nil {
+			return true
+		}
+		if i == n-1 {
+			return true // already known divergent
+		}
+		d, err := diffAt(i)
+		if err != nil {
+			probeErr = err
+			return true
+		}
+		return len(d) > 0
+	})
+	if probeErr != nil {
+		return nil, probeErr
+	}
+	first := last
+	if idx < n-1 {
+		if first, err = diffAt(idx); err != nil {
+			return nil, err
+		}
+	}
+	sa, _ := a.ReplayAt(idx)
+	sb, _ := b.ReplayAt(idx)
+	d := &Divergence{
+		Index:  idx,
+		CycleA: a.Snapshots[idx].Cycle,
+		CycleB: b.Snapshots[idx].Cycle,
+		Field:  first[0].Name,
+		A:      first[0].A,
+		B:      first[0].B,
+		Steps:  steps,
+	}
+	if sa != nil {
+		d.EventsA = len(sa.Events())
+	}
+	if sb != nil {
+		d.EventsB = len(sb.Events())
+	}
+	return d, nil
+}

@@ -1,0 +1,199 @@
+package flightrec
+
+// The recording codec: a canonical, versioned little-endian binary
+// format so recordings can be saved, shipped and diffed offline
+// (cmd/replay). Canonical means the same recording always encodes to the
+// same bytes — the replay-determinism acceptance check compares
+// encodings directly.
+//
+// Layout (version 1):
+//
+//	magic   "TTFR"
+//	u16     version
+//	str     port
+//	u32     page size
+//	u32     snapshot count
+//	  per snapshot: u64 cycle, u64 eventSeq, u8 keyframe, str label,
+//	                u32 nfields { str name, u64 val }...
+//	                u32 npages  { u32 base, u32 len, bytes }...
+//	u32     event count
+//	  per event: u64 seq, u64 cycle, u8 kind, i64 proc, str name,
+//	             u64 a, u64 b, str label
+//
+// Strings are u32 length + bytes. Snapshot indices are implicit
+// (positional).
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"ticktock/internal/trace"
+)
+
+// Magic identifies a flight recording file.
+const Magic = "TTFR"
+
+// Version is the current format version.
+const Version = 1
+
+type encoder struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (e *encoder) bytes(b []byte) {
+	if e.err == nil {
+		_, e.err = e.w.Write(b)
+	}
+}
+func (e *encoder) u8(v uint8)   { e.bytes([]byte{v}) }
+func (e *encoder) u16(v uint16) { e.bytes(binary.LittleEndian.AppendUint16(nil, v)) }
+func (e *encoder) u32(v uint32) { e.bytes(binary.LittleEndian.AppendUint32(nil, v)) }
+func (e *encoder) u64(v uint64) { e.bytes(binary.LittleEndian.AppendUint64(nil, v)) }
+func (e *encoder) str(s string) {
+	e.u32(uint32(len(s)))
+	e.bytes([]byte(s))
+}
+
+// Encode writes the recording in the canonical binary format.
+func (r *Recording) Encode(w io.Writer) error {
+	e := &encoder{w: bufio.NewWriter(w)}
+	e.bytes([]byte(Magic))
+	e.u16(Version)
+	e.str(r.Port)
+	e.u32(r.PageSize)
+	e.u32(uint32(len(r.Snapshots)))
+	for i := range r.Snapshots {
+		s := &r.Snapshots[i]
+		e.u64(s.Cycle)
+		e.u64(s.EventSeq)
+		e.u8(uint8(B(s.Keyframe)))
+		e.str(s.Label)
+		e.u32(uint32(len(s.Fields)))
+		for _, f := range s.Fields {
+			e.str(f.Name)
+			e.u64(f.Val)
+		}
+		e.u32(uint32(len(s.Pages)))
+		for _, p := range s.Pages {
+			e.u32(p.Base)
+			e.u32(uint32(len(p.Data)))
+			e.bytes(p.Data)
+		}
+	}
+	e.u32(uint32(len(r.Events)))
+	for _, ev := range r.Events {
+		e.u64(ev.Seq)
+		e.u64(ev.Cycle)
+		e.u8(uint8(ev.Kind))
+		e.u64(uint64(int64(ev.Proc)))
+		e.str(ev.Name)
+		e.u64(ev.A)
+		e.u64(ev.B)
+		e.str(ev.Label)
+	}
+	if e.err != nil {
+		return e.err
+	}
+	return e.w.Flush()
+}
+
+type decoder struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (d *decoder) bytes(n uint32) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n > 1<<28 {
+		d.err = fmt.Errorf("flightrec: implausible length %d", n)
+		return nil
+	}
+	b := make([]byte, n)
+	_, d.err = io.ReadFull(d.r, b)
+	return b
+}
+func (d *decoder) u8() uint8 {
+	b := d.bytes(1)
+	if d.err != nil {
+		return 0
+	}
+	return b[0]
+}
+func (d *decoder) u16() uint16 {
+	b := d.bytes(2)
+	if d.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+func (d *decoder) u32() uint32 {
+	b := d.bytes(4)
+	if d.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+func (d *decoder) u64() uint64 {
+	b := d.bytes(8)
+	if d.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+func (d *decoder) str() string { return string(d.bytes(d.u32())) }
+
+// Decode reads a recording written by Encode, rejecting unknown magic or
+// versions.
+func Decode(r io.Reader) (*Recording, error) {
+	d := &decoder{r: bufio.NewReader(r)}
+	if magic := string(d.bytes(4)); d.err == nil && magic != Magic {
+		return nil, fmt.Errorf("flightrec: bad magic %q (want %q)", magic, Magic)
+	}
+	if v := d.u16(); d.err == nil && v != Version {
+		return nil, fmt.Errorf("flightrec: unsupported format version %d (want %d)", v, Version)
+	}
+	rec := &Recording{}
+	rec.Port = d.str()
+	rec.PageSize = d.u32()
+	nsnap := d.u32()
+	for i := uint32(0); i < nsnap && d.err == nil; i++ {
+		s := Snapshot{Index: int(i)}
+		s.Cycle = d.u64()
+		s.EventSeq = d.u64()
+		s.Keyframe = d.u8() != 0
+		s.Label = d.str()
+		nf := d.u32()
+		for j := uint32(0); j < nf && d.err == nil; j++ {
+			name := d.str()
+			s.Fields = append(s.Fields, Field{Name: name, Val: d.u64()})
+		}
+		np := d.u32()
+		for j := uint32(0); j < np && d.err == nil; j++ {
+			base := d.u32()
+			s.Pages = append(s.Pages, Page{Base: base, Data: d.bytes(d.u32())})
+		}
+		rec.Snapshots = append(rec.Snapshots, s)
+	}
+	nev := d.u32()
+	for i := uint32(0); i < nev && d.err == nil; i++ {
+		var ev trace.Event
+		ev.Seq = d.u64()
+		ev.Cycle = d.u64()
+		ev.Kind = trace.Kind(d.u8())
+		ev.Proc = int(int64(d.u64()))
+		ev.Name = d.str()
+		ev.A = d.u64()
+		ev.B = d.u64()
+		ev.Label = d.str()
+		rec.Events = append(rec.Events, ev)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return rec, nil
+}

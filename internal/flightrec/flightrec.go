@@ -1,0 +1,313 @@
+// Package flightrec is the flight recorder: deterministic snapshot/replay
+// for the simulated boards. A Recorder attached to a kernel captures one
+// full machine snapshot per scheduling quantum — every CPU register, the
+// privilege mode, the MPU/PMP register file including control bits, the
+// SysTick/CLINT timer state, the kernel's process table and scheduler
+// cursor, and the RAM pages written since the previous snapshot (via the
+// physmem dirty tracker) — interleaved with the kernel event-trace
+// stream. Because the machines are fully deterministic, the recording
+// *is* the execution: any cycle can be reconstructed exactly from the
+// nearest snapshot (ReplayTo), stepped forward snapshot-by-snapshot, and
+// compared state-field-by-state-field against another recording
+// (Bisect) to find the first divergent event.
+//
+// Design constraints mirror trace/metrics/faultinject:
+//
+//  1. Zero simulated cost. Capturing observes the cycle meter and the
+//     memory contents; it never charges cycles. A recorded run reports
+//     bit-identical meter readings to an unrecorded one
+//     (BenchmarkAblation_FlightRecOverhead).
+//  2. Nil safety. A nil *Recorder is a valid disabled recorder; the
+//     kernels pay one pointer check per quantum.
+//  3. Determinism. Field order is fixed, page sets are sorted, and the
+//     binary codec is canonical, so the same seeded run always encodes
+//     to the same bytes.
+package flightrec
+
+import (
+	"hash/fnv"
+
+	"ticktock/internal/metrics"
+	"ticktock/internal/physmem"
+	"ticktock/internal/trace"
+)
+
+// Field is one named scalar of machine or kernel state. Booleans encode
+// as 0/1; strings (console output) as FNV-64a digests.
+type Field struct {
+	Name string
+	Val  uint64
+}
+
+// F is shorthand for building a Field.
+func F(name string, val uint64) Field { return Field{Name: name, Val: val} }
+
+// B encodes a boolean field value.
+func B(v bool) uint64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// Page is one dirty RAM page: PageSize bytes at an aligned base.
+type Page struct {
+	Base uint32
+	Data []byte
+}
+
+// Snapshot is one recorded checkpoint. A keyframe carries every page
+// touched since recording began; a delta carries only the pages written
+// since the previous checkpoint, so replay applies the nearest keyframe
+// and rolls deltas forward.
+type Snapshot struct {
+	Index    int
+	Cycle    uint64
+	EventSeq uint64 // tracer events emitted when the snapshot was taken
+	Label    string // what ended the quantum (stop reason, "idle", ...)
+	Keyframe bool
+	Fields   []Field
+	Pages    []Page // sorted by Base
+}
+
+// Recording is a completed (or in-progress) timeline: snapshots plus the
+// interleaved kernel event trace.
+type Recording struct {
+	Port      string
+	PageSize  uint32
+	Snapshots []Snapshot
+	Events    []trace.Event
+
+	replays  uint64
+	mReplays *metrics.Counter
+	mBisect  *metrics.Counter
+}
+
+// Replays returns how many ReplayTo calls this recording has served —
+// the report side of the flightrec_replays_total accounting.
+func (r *Recording) Replays() uint64 { return r.replays }
+
+// FinalCycle returns the cycle of the last snapshot (0 when empty).
+func (r *Recording) FinalCycle() uint64 {
+	if len(r.Snapshots) == 0 {
+		return 0
+	}
+	return r.Snapshots[len(r.Snapshots)-1].Cycle
+}
+
+// DefaultKeyframeInterval makes every 16th snapshot a keyframe: replay
+// touches at most 15 deltas, and the retained bytes stay proportional to
+// the working set rather than the run length.
+const DefaultKeyframeInterval = 16
+
+// Recorder captures snapshots into a Recording. The zero value is not
+// usable; call NewRecorder. A nil *Recorder is a valid disabled
+// recorder: every method no-ops.
+type Recorder struct {
+	// KeyframeInterval is the snapshot period of full keyframes
+	// (DefaultKeyframeInterval when 0). Set it before the first
+	// Checkpoint.
+	KeyframeInterval int
+
+	mem     *physmem.Memory
+	tracer  *trace.Tracer
+	rec     *Recording
+	touched []uint32 // cumulative sorted page bases ever dirtied
+
+	snapshots uint64
+	retained  uint64
+	mSnaps    *metrics.Counter
+	mBytes    *metrics.Counter
+	reg       *metrics.Registry
+	port      string
+}
+
+// NewRecorder returns a recorder labelled with the port name
+// ("arm-ticktock", "rv32-hifive1", ...).
+func NewRecorder(port string) *Recorder {
+	return &Recorder{rec: &Recording{Port: port, PageSize: physmem.DirtyPageSize}, port: port}
+}
+
+// AttachMemory starts dirty tracking on the machine's memory so each
+// checkpoint captures the pages written since the previous one. Call it
+// before the first write the recording should see (the kernels attach at
+// boot, before any process is loaded). Nil-safe.
+func (r *Recorder) AttachMemory(mem *physmem.Memory) {
+	if r == nil || mem == nil {
+		return
+	}
+	r.mem = mem
+	mem.TrackDirty()
+}
+
+// AttachTracer interleaves a kernel event tracer: each snapshot records
+// the tracer's emission count, and Finish copies the surviving events
+// into the recording so replay can window them per snapshot. Nil-safe
+// (both sides).
+func (r *Recorder) AttachTracer(tr *trace.Tracer) {
+	if r == nil {
+		return
+	}
+	r.tracer = tr
+}
+
+// AttachMetrics publishes the flightrec_* series to the registry:
+// snapshots taken, bytes retained, replays served and bisection steps,
+// all labelled with the recorder's port. Nil-safe.
+func (r *Recorder) AttachMetrics(reg *metrics.Registry) {
+	if r == nil || reg == nil {
+		return
+	}
+	r.reg = reg
+	pl := metrics.L("port", r.port)
+	r.mSnaps = reg.Counter("flightrec_snapshots_total", pl)
+	r.mBytes = reg.Counter("flightrec_bytes_retained_total", pl)
+	r.rec.mReplays = reg.Counter("flightrec_replays_total", pl)
+	r.rec.mBisect = reg.Counter("flightrec_bisect_steps_total", pl)
+}
+
+// Snapshots returns how many checkpoints have been taken — the report
+// side of the flightrec_snapshots_total accounting. Nil-safe.
+func (r *Recorder) Snapshots() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.snapshots
+}
+
+// BytesRetained returns the payload bytes held by the recording (page
+// data plus 8 bytes per field) — the report side of
+// flightrec_bytes_retained_total. Nil-safe.
+func (r *Recorder) BytesRetained() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.retained
+}
+
+// Checkpoint records one snapshot: the given state fields plus the RAM
+// pages dirtied since the previous checkpoint (every touched page on
+// keyframes). It observes but never charges the cycle meter. Nil-safe.
+func (r *Recorder) Checkpoint(cycle uint64, label string, fields []Field) {
+	if r == nil {
+		return
+	}
+	interval := r.KeyframeInterval
+	if interval <= 0 {
+		interval = DefaultKeyframeInterval
+	}
+	s := Snapshot{
+		Index:    len(r.rec.Snapshots),
+		Cycle:    cycle,
+		EventSeq: r.tracer.Emitted(),
+		Label:    label,
+		Fields:   fields,
+	}
+	s.Keyframe = s.Index%interval == 0
+	var fresh []uint32
+	if r.mem != nil {
+		fresh = r.mem.DrainDirty()
+		r.touched = mergeSorted(r.touched, fresh)
+	}
+	bases := fresh
+	if s.Keyframe {
+		bases = r.touched
+	}
+	for _, base := range bases {
+		data, err := r.mem.ReadBytes(base, r.pageLen(base))
+		if err != nil {
+			continue // page fell off a segment edge; nothing to retain
+		}
+		s.Pages = append(s.Pages, Page{Base: base, Data: data})
+		r.retained += uint64(len(data))
+		if r.mBytes != nil {
+			r.mBytes.Add(uint64(len(data)))
+		}
+	}
+	r.retained += 8 * uint64(len(fields))
+	if r.mBytes != nil {
+		r.mBytes.Add(8 * uint64(len(fields)))
+	}
+	r.rec.Snapshots = append(r.rec.Snapshots, s)
+	r.snapshots++
+	if r.mSnaps != nil {
+		r.mSnaps.Inc()
+	}
+}
+
+// pageLen clips a page to its segment (the last page of a segment may be
+// short).
+func (r *Recorder) pageLen(base uint32) uint32 {
+	n := uint32(physmem.DirtyPageSize)
+	if seg := r.mem.Segment(base); seg != nil && base+n > seg.End() {
+		n = seg.End() - base
+	}
+	return n
+}
+
+// Finish copies the surviving trace events into the recording and
+// returns it. The recorder should not be checkpointed afterwards.
+// Nil-safe (returns an empty recording).
+func (r *Recorder) Finish() *Recording {
+	if r == nil {
+		return &Recording{PageSize: physmem.DirtyPageSize}
+	}
+	r.rec.Events = r.tracer.Events()
+	return r.rec
+}
+
+// mergeSorted merges two sorted uint32 slices, deduplicating.
+func mergeSorted(a, b []uint32) []uint32 {
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]uint32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i, j = i+1, j+1
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// DigestBytes hashes a byte string to a Field value (FNV-64a) — how
+// console output and register files are folded into single comparable
+// fields.
+func DigestBytes(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// DigestMemory hashes the live contents of the given pages of a memory —
+// the comparison partner of State.MemDigest for the replay-exactness
+// tests. Pages are clipped to their segment like the recorder does.
+func DigestMemory(mem *physmem.Memory, bases []uint32) uint64 {
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, base := range bases {
+		n := uint32(physmem.DirtyPageSize)
+		if seg := mem.Segment(base); seg != nil && base+n > seg.End() {
+			n = seg.End() - base
+		}
+		data, err := mem.ReadBytes(base, n)
+		if err != nil {
+			continue
+		}
+		buf[0], buf[1], buf[2], buf[3] = byte(base), byte(base>>8), byte(base>>16), byte(base>>24)
+		h.Write(buf[:])
+		h.Write(data)
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,316 @@
+package flightrec_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ticktock/internal/flightrec"
+	"ticktock/internal/metrics"
+	"ticktock/internal/physmem"
+	"ticktock/internal/trace"
+)
+
+const ramBase = 0x2000_0000
+
+// newRecorded builds a recorder over a small RAM segment and returns
+// both plus the memory for driving writes.
+func newRecorded(t *testing.T) (*flightrec.Recorder, *physmem.Memory) {
+	t.Helper()
+	mem := physmem.NewMemory()
+	if _, err := mem.Map("ram", ramBase, 4096); err != nil {
+		t.Fatal(err)
+	}
+	rec := flightrec.NewRecorder("test")
+	rec.AttachMemory(mem)
+	return rec, mem
+}
+
+func store(t *testing.T, mem *physmem.Memory, addr, val uint32) {
+	t.Helper()
+	if err := mem.WriteWord(addr, val); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyframeAndDeltaPages(t *testing.T) {
+	r, mem := newRecorded(t)
+	r.KeyframeInterval = 2
+
+	store(t, mem, ramBase, 0x11111111)
+	r.Checkpoint(100, "q0", []flightrec.Field{flightrec.F("x", 1)})
+	store(t, mem, ramBase+physmem.DirtyPageSize, 0x22222222)
+	r.Checkpoint(200, "q1", []flightrec.Field{flightrec.F("x", 2)})
+	store(t, mem, ramBase, 0x33333333)
+	r.Checkpoint(300, "q2", []flightrec.Field{flightrec.F("x", 3)})
+
+	rec := r.Finish()
+	if !rec.Snapshots[0].Keyframe || rec.Snapshots[1].Keyframe || !rec.Snapshots[2].Keyframe {
+		t.Fatalf("keyframe pattern wrong: %v %v %v",
+			rec.Snapshots[0].Keyframe, rec.Snapshots[1].Keyframe, rec.Snapshots[2].Keyframe)
+	}
+	// The delta snapshot carries only the page written in its quantum.
+	if n := len(rec.Snapshots[1].Pages); n != 1 {
+		t.Fatalf("delta snapshot has %d pages, want 1", n)
+	}
+	if got := rec.Snapshots[1].Pages[0].Base; got != ramBase+physmem.DirtyPageSize {
+		t.Fatalf("delta page base 0x%x, want 0x%x", got, ramBase+physmem.DirtyPageSize)
+	}
+	// The second keyframe carries every page ever touched.
+	if n := len(rec.Snapshots[2].Pages); n != 2 {
+		t.Fatalf("keyframe has %d pages, want 2", n)
+	}
+
+	// Replay at the delta still sees the first page via its keyframe.
+	s, err := rec.ReplayAt(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.PageBases()); got != 2 {
+		t.Fatalf("replayed state has %d pages, want 2", got)
+	}
+	if p := s.Page(ramBase); p[0] != 0x11 {
+		t.Fatalf("page byte 0x%02x, want 0x11", p[0])
+	}
+	if v, _ := s.Field("x"); v != 2 {
+		t.Fatalf("field x=%d, want 2", v)
+	}
+}
+
+func TestReplayToAndStep(t *testing.T) {
+	r, mem := newRecorded(t)
+	for i, cyc := range []uint64{100, 200, 300} {
+		store(t, mem, ramBase+uint32(i)*4, uint32(i+1))
+		r.Checkpoint(cyc, "q", []flightrec.Field{flightrec.F("i", uint64(i))})
+	}
+	rec := r.Finish()
+
+	for _, tc := range []struct {
+		cycle uint64
+		index int
+	}{{50, 0}, {100, 0}, {250, 1}, {300, 2}, {9999, 2}} {
+		s, err := rec.ReplayTo(tc.cycle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Index != tc.index {
+			t.Fatalf("ReplayTo(%d) landed on snapshot %d, want %d", tc.cycle, s.Index, tc.index)
+		}
+	}
+
+	s, _ := rec.ReplayTo(0)
+	steps := 0
+	for s.Step() {
+		steps++
+	}
+	if steps != 2 || s.Index != 2 {
+		t.Fatalf("stepped %d times to index %d, want 2/2", steps, s.Index)
+	}
+	if got := rec.Replays(); got != 6 {
+		t.Fatalf("Replays()=%d, want 6", got)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	r, mem := newRecorded(t)
+	tr := trace.New(16)
+	r.AttachTracer(tr)
+	store(t, mem, ramBase, 0xdeadbeef)
+	tr.Emit(trace.Event{Cycle: 5, Kind: trace.KindSyscallEnter, Proc: 0, Name: "app", A: 1, Label: "command"})
+	r.Checkpoint(10, "q0", []flightrec.Field{flightrec.F("cpu.pc", 0x20000000), flightrec.F("cpu.priv", 1)})
+	tr.Emit(trace.Event{Cycle: 15, Kind: trace.KindFault, Proc: trace.KernelProc, Label: "boom"})
+	r.Checkpoint(20, "q1", []flightrec.Field{flightrec.F("cpu.pc", 0x20000004), flightrec.F("cpu.priv", 0)})
+	rec := r.Finish()
+
+	var buf bytes.Buffer
+	if err := rec.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	first := append([]byte(nil), buf.Bytes()...)
+
+	dec, err := flightrec.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Port != "test" || dec.PageSize != physmem.DirtyPageSize {
+		t.Fatalf("decoded header %q/%d", dec.Port, dec.PageSize)
+	}
+	if len(dec.Snapshots) != 2 || len(dec.Events) != 2 {
+		t.Fatalf("decoded %d snapshots, %d events", len(dec.Snapshots), len(dec.Events))
+	}
+	if dec.Events[1].Label != "boom" || dec.Events[1].Proc != trace.KernelProc {
+		t.Fatalf("event round-trip mangled: %+v", dec.Events[1])
+	}
+	s, err := dec.ReplayAt(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Field("cpu.pc"); v != 0x20000004 {
+		t.Fatalf("replayed decoded pc=0x%x", v)
+	}
+
+	var buf2 bytes.Buffer
+	if err := dec.Encode(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, buf2.Bytes()) {
+		t.Fatal("re-encoding a decoded recording changed the bytes — codec not canonical")
+	}
+}
+
+func TestDecodeRejectsBadInput(t *testing.T) {
+	if _, err := flightrec.Decode(strings.NewReader("NOPE....")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	bad := []byte("TTFR\xff\xff")
+	if _, err := flightrec.Decode(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestBisectFindsFirstDivergentField(t *testing.T) {
+	build := func(divergeAt int) *flightrec.Recording {
+		r, mem := newRecorded(t)
+		for i := 0; i < 40; i++ {
+			val := uint32(i)
+			control := uint64(1)
+			if i >= divergeAt {
+				val += 100  // memory divergence
+				control = 0 // field divergence
+			}
+			store(t, mem, ramBase+uint32(i%3)*physmem.DirtyPageSize, val)
+			r.Checkpoint(uint64(i)*50, "q", []flightrec.Field{
+				flightrec.F("cpu.pc", uint64(0x2000_0000+4*i)),
+				flightrec.F("cpu.control", control),
+			})
+		}
+		return r.Finish()
+	}
+	a, b := build(1000), build(23)
+	div, err := flightrec.Bisect(a, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div == nil {
+		t.Fatal("no divergence found")
+	}
+	if div.Index != 23 {
+		t.Fatalf("divergence at snapshot %d, want 23", div.Index)
+	}
+	if div.Field != "cpu.control" || div.A != 1 || div.B != 0 {
+		t.Fatalf("offending field %s A=%d B=%d, want cpu.control 1/0", div.Field, div.A, div.B)
+	}
+	// Binary search: far fewer probes than the 40 snapshots.
+	if div.Steps > 10 {
+		t.Fatalf("bisection took %d steps for 40 snapshots", div.Steps)
+	}
+
+	// Identical recordings: no divergence.
+	if div, err := flightrec.Bisect(build(1000), build(1000), nil); err != nil || div != nil {
+		t.Fatalf("clean pair reported %+v, %v", div, err)
+	}
+}
+
+func TestBisectReportsLengthMismatch(t *testing.T) {
+	build := func(n int) *flightrec.Recording {
+		r, mem := newRecorded(t)
+		for i := 0; i < n; i++ {
+			store(t, mem, ramBase, uint32(i))
+			r.Checkpoint(uint64(i)*50, "q", []flightrec.Field{flightrec.F("x", uint64(i))})
+		}
+		return r.Finish()
+	}
+	div, err := flightrec.Bisect(build(5), build(8), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div == nil || div.Field != "snapshot-count" || div.A != 5 || div.B != 8 {
+		t.Fatalf("length mismatch reported as %+v", div)
+	}
+}
+
+func TestCompareStatesIgnoreFilter(t *testing.T) {
+	r1, mem1 := newRecorded(t)
+	store(t, mem1, ramBase, 1)
+	r1.Checkpoint(10, "q", []flightrec.Field{flightrec.F("cpu.pc", 1), flightrec.F("out.0", 7)})
+	r2, mem2 := newRecorded(t)
+	store(t, mem2, ramBase, 2)
+	r2.Checkpoint(12, "q", []flightrec.Field{flightrec.F("cpu.pc", 2), flightrec.F("out.0", 7)})
+
+	a, _ := r1.Finish().ReplayAt(0)
+	b, _ := r2.Finish().ReplayAt(0)
+
+	all := flightrec.CompareStates(a, b, nil)
+	if len(all) != 2 { // cpu.pc + one memory byte
+		t.Fatalf("unfiltered diff count %d: %+v", len(all), all)
+	}
+	onlyOut := flightrec.CompareStates(a, b, func(name string) bool {
+		return !strings.HasPrefix(name, "out.")
+	})
+	if len(onlyOut) != 0 {
+		t.Fatalf("out.-filtered compare found %+v", onlyOut)
+	}
+}
+
+// TestThreeWayAccounting checks the flightrec_* series the ISSUE's
+// acceptance bar names: the recorder's report-side counters, the live
+// registry instruments, and a ParsePrometheus round-trip of the exported
+// text all agree.
+func TestThreeWayAccounting(t *testing.T) {
+	reg := metrics.NewRegistry()
+	r, mem := newRecorded(t)
+	r.AttachMetrics(reg)
+	for i := 0; i < 5; i++ {
+		store(t, mem, ramBase+uint32(i)*4, uint32(i))
+		r.Checkpoint(uint64(i)*100, "q", []flightrec.Field{flightrec.F("x", uint64(i))})
+	}
+	rec := r.Finish()
+	if _, err := rec.ReplayTo(250); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.ReplayTo(9999); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := flightrec.Bisect(rec, rec, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	pl := metrics.L("port", "test")
+	want := map[string]uint64{
+		"flightrec_snapshots_total":      r.Snapshots(),
+		"flightrec_bytes_retained_total": r.BytesRetained(),
+		"flightrec_replays_total":        rec.Replays(),
+	}
+	if r.Snapshots() != 5 {
+		t.Fatalf("snapshots=%d, want 5", r.Snapshots())
+	}
+	if rec.Replays() != 2 {
+		t.Fatalf("replays=%d, want 2", rec.Replays())
+	}
+	if r.BytesRetained() == 0 {
+		t.Fatal("no bytes retained")
+	}
+	for name, v := range want {
+		if got := reg.Counter(name, pl).Value(); got != v {
+			t.Errorf("registry %s=%d, report side says %d", name, got, v)
+		}
+	}
+	if got := reg.Counter("flightrec_bisect_steps_total", pl).Value(); got == 0 {
+		t.Error("bisect steps counter never incremented")
+	}
+
+	var buf bytes.Buffer
+	if err := reg.ExportPrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := metrics.ParsePrometheus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range want {
+		id := name + `{port="test"}`
+		if got := parsed[id]; got != float64(v) {
+			t.Errorf("exported %s=%v, want %d", id, got, v)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package flightrec
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"ticktock/internal/trace"
+)
+
+// State is a fully reconstructed machine state at one snapshot: the
+// complete field set plus every RAM page touched up to that point.
+// Obtain one with ReplayTo/ReplayAt and walk it forward with Step.
+type State struct {
+	rec   *Recording
+	Index int
+	Cycle uint64
+	Label string
+
+	fields map[string]uint64
+	order  []string
+	pages  map[uint32][]byte
+}
+
+// ReplayTo reconstructs the state at the last snapshot taken at or
+// before the given cycle — time travel to an exact point of the run. A
+// cycle before the first snapshot lands on the first one.
+func (r *Recording) ReplayTo(cycle uint64) (*State, error) {
+	if len(r.Snapshots) == 0 {
+		return nil, fmt.Errorf("flightrec: empty recording")
+	}
+	// First snapshot with Cycle > cycle; the one before it is the target.
+	idx := sort.Search(len(r.Snapshots), func(i int) bool { return r.Snapshots[i].Cycle > cycle })
+	if idx > 0 {
+		idx--
+	}
+	r.replays++
+	if r.mReplays != nil {
+		r.mReplays.Inc()
+	}
+	return r.ReplayAt(idx)
+}
+
+// ReplayAt reconstructs the state at snapshot index idx: the nearest
+// keyframe at or before idx seeds the page set, then the deltas up to
+// idx roll forward. Fields always come whole from snapshot idx.
+func (r *Recording) ReplayAt(idx int) (*State, error) {
+	if idx < 0 || idx >= len(r.Snapshots) {
+		return nil, fmt.Errorf("flightrec: snapshot %d out of range [0,%d)", idx, len(r.Snapshots))
+	}
+	key := idx
+	for key > 0 && !r.Snapshots[key].Keyframe {
+		key--
+	}
+	s := &State{rec: r, pages: make(map[uint32][]byte)}
+	for i := key; i <= idx; i++ {
+		s.applySnapshot(&r.Snapshots[i])
+	}
+	return s, nil
+}
+
+// applySnapshot overlays one snapshot onto the state.
+func (s *State) applySnapshot(snap *Snapshot) {
+	s.Index, s.Cycle, s.Label = snap.Index, snap.Cycle, snap.Label
+	if s.fields == nil {
+		s.fields = make(map[string]uint64, len(snap.Fields))
+	}
+	s.order = s.order[:0]
+	for _, f := range snap.Fields {
+		s.fields[f.Name] = f.Val
+		s.order = append(s.order, f.Name)
+	}
+	for _, p := range snap.Pages {
+		data := make([]byte, len(p.Data))
+		copy(data, p.Data)
+		s.pages[p.Base] = data
+	}
+}
+
+// Step advances the state to the next snapshot, returning false at the
+// end of the recording.
+func (s *State) Step() bool {
+	if s.Index+1 >= len(s.rec.Snapshots) {
+		return false
+	}
+	s.applySnapshot(&s.rec.Snapshots[s.Index+1])
+	return true
+}
+
+// Field looks up one state field by name.
+func (s *State) Field(name string) (uint64, bool) {
+	v, ok := s.fields[name]
+	return v, ok
+}
+
+// Fields returns the full field set in capture order.
+func (s *State) Fields() []Field {
+	out := make([]Field, 0, len(s.order))
+	for _, name := range s.order {
+		out = append(out, Field{Name: name, Val: s.fields[name]})
+	}
+	return out
+}
+
+// PageBases returns the sorted bases of every RAM page reconstructed so
+// far.
+func (s *State) PageBases() []uint32 {
+	out := make([]uint32, 0, len(s.pages))
+	for base := range s.pages {
+		out = append(out, base)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Page returns the reconstructed contents of one page (nil if never
+// touched — i.e. still all zero).
+func (s *State) Page(base uint32) []byte { return s.pages[base] }
+
+// MemDigest hashes the reconstructed memory image (FNV-64a over
+// base-prefixed pages in address order) — compare it against
+// DigestMemory of the live machine over the same bases.
+func (s *State) MemDigest() uint64 {
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, base := range s.PageBases() {
+		buf[0], buf[1], buf[2], buf[3] = byte(base), byte(base>>8), byte(base>>16), byte(base>>24)
+		h.Write(buf[:])
+		h.Write(s.pages[base])
+	}
+	return h.Sum64()
+}
+
+// Events returns the trace events emitted during this snapshot's window:
+// after the previous snapshot was taken, up to and including this one.
+// Events that fell off the tracer ring are absent (their loss is counted
+// by the tracer's dropped accounting).
+func (s *State) Events() []trace.Event {
+	var from uint64
+	if s.Index > 0 {
+		from = s.rec.Snapshots[s.Index-1].EventSeq
+	}
+	to := s.rec.Snapshots[s.Index].EventSeq
+	out := []trace.Event{}
+	for _, e := range s.rec.Events {
+		if e.Seq >= from && e.Seq < to {
+			out = append(out, e)
+		}
+	}
+	return out
+}

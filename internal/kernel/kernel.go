@@ -1,10 +1,12 @@
 package kernel
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"ticktock/internal/armv7m"
 	"ticktock/internal/cycles"
+	"ticktock/internal/flightrec"
 	"ticktock/internal/metrics"
 	"ticktock/internal/monolithic"
 	"ticktock/internal/tbf"
@@ -120,6 +122,12 @@ type Options struct {
 	// but never charge it — a metered run is cycle-identical to an
 	// unmetered one.
 	Metrics *metrics.Registry
+	// FlightRec, when non-nil, records one full machine snapshot per
+	// scheduling quantum (CPU, MPU, SysTick, process table, dirty RAM
+	// pages) interleaved with the trace stream, for deterministic
+	// replay and divergence bisection. Like tracing and metrics, the
+	// recorder observes the cycle meter but never charges it.
+	FlightRec *flightrec.Recorder
 }
 
 // DefaultTimeslice matches a 10 ms quantum at the modelled clock.
@@ -198,6 +206,10 @@ type Kernel struct {
 	// tracer, when non-nil, records kernel events (Options.Trace).
 	tracer *trace.Tracer
 
+	// rec, when non-nil, is the attached flight recorder
+	// (Options.FlightRec); RunOnce checkpoints it once per quantum.
+	rec *flightrec.Recorder
+
 	// Metrics is the attached registry (Options.Metrics; nil when
 	// metrics are disabled). A single kernel runs single-threaded, so
 	// the cached instrument handles below need no locking; the registry
@@ -257,6 +269,7 @@ func New(opts Options) (*Kernel, error) {
 		b.Machine.AttachMetrics(opts.Metrics, fl)
 	}
 	if k.tracer != nil {
+		k.tracer.AttachMetrics(opts.Metrics)
 		m := b.Machine
 		m.OnException = func(excNum uint32, entry bool) {
 			kind := trace.KindExceptionEntry
@@ -270,6 +283,13 @@ func New(opts Options) (*Kernel, error) {
 				A:     uint64(excNum),
 			})
 		}
+	}
+	if opts.FlightRec != nil {
+		// Attach before any LoadProcess so flash images and initial RAM
+		// writes land in the dirty-page picture.
+		k.rec = opts.FlightRec
+		k.rec.AttachMemory(b.Machine.Mem)
+		k.rec.AttachTracer(opts.Trace)
 	}
 	return k, nil
 }
@@ -601,6 +621,7 @@ func (k *Kernel) RunOnce() (bool, error) {
 			k.Meter().Add(earliest - now) // the WFI idle loop burning cycles
 			k.attr(now, nil, "idle")
 		}
+		k.checkpoint("idle")
 		return true, nil
 	}
 
@@ -611,6 +632,7 @@ func (k *Kernel) RunOnce() (bool, error) {
 		// the board: fail closed per process, keep scheduling the rest.
 		k.faultProcess(p, fmt.Errorf("switching in: %v", err))
 		k.attr(t0, p, "fault")
+		k.checkpoint("switch-fault")
 		return true, nil
 	}
 	if h := k.Opts.Hooks.QuantumStart; h != nil {
@@ -666,7 +688,66 @@ func (k *Kernel) RunOnce() (bool, error) {
 	default:
 		return false, fmt.Errorf("kernel: unexpected stop %v", stop.Reason)
 	}
+	k.checkpoint(stop.Reason.String())
 	return true, nil
+}
+
+// checkpoint records a flight-recorder snapshot at the current cycle.
+// No-op (and zero simulated cost) without an attached recorder.
+func (k *Kernel) checkpoint(label string) {
+	if k.rec == nil {
+		return
+	}
+	k.rec.Checkpoint(k.Meter().Cycles(), label, k.FlightFields())
+}
+
+// FlightFields captures the kernel-visible state for the flight
+// recorder: the full machine state plus the scheduler bookkeeping and a
+// per-process view (lifecycle state, saved stack pointer, restart count,
+// wake deadline, a digest of the saved callee-saved registers, and a
+// digest of the output each process has printed so far).
+func (k *Kernel) FlightFields() []flightrec.Field {
+	f := k.Board.Machine.FlightFields()
+	var leds uint64
+	for i, on := range k.LEDs {
+		if on {
+			leds |= 1 << i
+		}
+	}
+	f = append(f,
+		flightrec.F("kern.switches", k.Switches),
+		flightrec.F("kern.faults", k.Faults),
+		flightrec.F("kern.restarts", totalRestarts(k.Procs)),
+		flightrec.F("kern.leds", leds),
+	)
+	if n := len(k.Procs); n > 0 {
+		f = append(f, flightrec.F("kern.cursor", k.Switches%uint64(n)))
+	}
+	for _, p := range k.Procs {
+		pre := fmt.Sprintf("proc.%d.", p.ID)
+		var regs [8 * 4]byte
+		for i, r := range p.SavedRegs {
+			binary.LittleEndian.PutUint32(regs[i*4:], r)
+		}
+		f = append(f,
+			flightrec.F(pre+"state", uint64(p.State)),
+			flightrec.F(pre+"psp", uint64(p.PSP)),
+			flightrec.F(pre+"restarts", uint64(p.Restarts)),
+			flightrec.F(pre+"wake", p.WakeAt),
+			flightrec.F(pre+"regs", flightrec.DigestBytes(regs[:])),
+			flightrec.F(fmt.Sprintf("out.%d", p.ID), flightrec.DigestBytes(k.output[p.ID])),
+		)
+	}
+	return f
+}
+
+// totalRestarts sums kernel-initiated restarts across the process table.
+func totalRestarts(procs []*Process) uint64 {
+	var n uint64
+	for _, p := range procs {
+		n += uint64(p.Restarts)
+	}
+	return n
 }
 
 // Run drives the scheduler until every process is dead or maxQuanta

@@ -36,11 +36,21 @@ func (e *BusError) Error() string {
 	return fmt.Sprintf("armv7m: bus fault: no memory mapped at 0x%08x", e.Addr)
 }
 
+// DirtyPageSize is the granularity of write tracking (TrackDirty): page
+// bases are aligned down to this power-of-two size.
+const DirtyPageSize = 256
+
 // Memory models the physical address space of the microcontroller as a
 // sorted set of non-overlapping segments (flash, RAM, peripherals).
 // All accesses are little-endian, matching ARMv7-M.
 type Memory struct {
 	segs []*Segment
+
+	// dirty, when non-nil, collects the page bases written since the
+	// last DrainDirty — the flight recorder's copy-on-write signal. The
+	// write paths pay one nil check when tracking is off; tracking never
+	// touches a cycle meter either way.
+	dirty map[uint32]struct{}
 }
 
 // NewMemory returns an empty address space.
@@ -79,6 +89,58 @@ func (m *Memory) Segment(addr uint32) *Segment {
 // Segments returns all mapped segments in address order.
 func (m *Memory) Segments() []*Segment { return m.segs }
 
+// TrackDirty enables write tracking at DirtyPageSize granularity. Every
+// page that already holds a non-zero byte is marked dirty immediately,
+// so a tracker attached after some setup writes still sees a complete
+// picture: untracked pages are guaranteed to be all-zero.
+func (m *Memory) TrackDirty() {
+	m.dirty = make(map[uint32]struct{})
+	for _, s := range m.segs {
+		for off := 0; off < len(s.Data); off += DirtyPageSize {
+			end := off + DirtyPageSize
+			if end > len(s.Data) {
+				end = len(s.Data)
+			}
+			for _, b := range s.Data[off:end] {
+				if b != 0 {
+					m.dirty[(s.Base+uint32(off))&^uint32(DirtyPageSize-1)] = struct{}{}
+					break
+				}
+			}
+		}
+	}
+}
+
+// TrackingDirty reports whether write tracking is enabled.
+func (m *Memory) TrackingDirty() bool { return m.dirty != nil }
+
+// DrainDirty returns the sorted page bases written since the last drain
+// (or since TrackDirty) and clears the set. Nil when tracking is off.
+func (m *Memory) DrainDirty() []uint32 {
+	if m.dirty == nil || len(m.dirty) == 0 {
+		return nil
+	}
+	out := make([]uint32, 0, len(m.dirty))
+	for base := range m.dirty {
+		out = append(out, base)
+	}
+	clear(m.dirty)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// markDirty records the pages overlapping [addr, addr+n).
+func (m *Memory) markDirty(addr, n uint32) {
+	first := addr &^ uint32(DirtyPageSize-1)
+	last := (addr + n - 1) &^ uint32(DirtyPageSize-1)
+	for p := first; ; p += DirtyPageSize {
+		m.dirty[p] = struct{}{}
+		if p == last {
+			break
+		}
+	}
+}
+
 // checkSpan verifies [addr, addr+n) is fully backed by one segment.
 func (m *Memory) checkSpan(addr uint32, n uint32) (*Segment, error) {
 	seg := m.Segment(addr)
@@ -104,6 +166,9 @@ func (m *Memory) StoreByte(addr uint32, v byte) error {
 		return err
 	}
 	seg.Data[addr-seg.Base] = v
+	if m.dirty != nil {
+		m.markDirty(addr, 1)
+	}
 	return nil
 }
 
@@ -129,6 +194,9 @@ func (m *Memory) WriteWord(addr uint32, v uint32) error {
 	seg.Data[off+1] = byte(v >> 8)
 	seg.Data[off+2] = byte(v >> 16)
 	seg.Data[off+3] = byte(v >> 24)
+	if m.dirty != nil {
+		m.markDirty(addr, 4)
+	}
 	return nil
 }
 
@@ -151,5 +219,8 @@ func (m *Memory) WriteBytes(addr uint32, b []byte) error {
 		return err
 	}
 	copy(seg.Data[addr-seg.Base:], b)
+	if m.dirty != nil && len(b) > 0 {
+		m.markDirty(addr, uint32(len(b)))
+	}
 	return nil
 }

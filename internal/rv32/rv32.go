@@ -167,6 +167,13 @@ func (c *CLINT) Jitter(delta int64) {
 // interrupt (fault injection: a dropped tick).
 func (c *CLINT) DropNext() { c.dropNext = true }
 
+// Pending reports whether a timer interrupt is latched (without
+// consuming it), mirroring the ARM SysTick accessor.
+func (c *CLINT) Pending() bool { return c.pending }
+
+// Current returns the live countdown value.
+func (c *CLINT) Current() uint64 { return c.current }
+
 // TakePending consumes a pending timer interrupt.
 func (c *CLINT) TakePending() bool {
 	p := c.pending

@@ -11,10 +11,12 @@
 package rvkernel
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"ticktock/internal/core"
 	"ticktock/internal/cycles"
+	"ticktock/internal/flightrec"
 	"ticktock/internal/metrics"
 	"ticktock/internal/mpu"
 	"ticktock/internal/physmem"
@@ -208,6 +210,10 @@ type Kernel struct {
 	// Metrics is the attached registry (AttachMetrics; nil when off).
 	Metrics *metrics.Registry
 
+	// rec, when non-nil, is the attached flight recorder
+	// (AttachFlightRec); RunOnce checkpoints it once per quantum.
+	rec *flightrec.Recorder
+
 	// prof is the folded-stack cycle profile (non-nil exactly when
 	// Metrics is); flavourName labels the series ("rv32-<chip>").
 	prof        *metrics.Profile
@@ -250,6 +256,74 @@ func (k *Kernel) AttachMetrics(reg *metrics.Registry) {
 	k.mWatchdog = reg.Counter("ticktock_watchdog_fires_total", fl)
 	k.mQuarantine = reg.Counter("ticktock_quarantines_total", fl)
 	k.mPMP = reg.Histogram("ticktock_mpu_reconfigure_cycles", fl)
+	k.Trace.AttachMetrics(reg)
+}
+
+// AttachFlightRec wires a flight recorder into the kernel, mirroring the
+// ARM kernel's Options.FlightRec. Call it before LoadProcess so flash
+// images and initial RAM writes land in the dirty-page picture. The
+// recorder observes the cycle meter but never charges it. Nil is a
+// no-op.
+func (k *Kernel) AttachFlightRec(rec *flightrec.Recorder) {
+	if rec == nil {
+		return
+	}
+	k.rec = rec
+	rec.AttachMemory(k.Machine.Mem)
+	rec.AttachTracer(k.Trace)
+}
+
+// checkpoint records a flight-recorder snapshot at the current cycle.
+// No-op (and zero simulated cost) without an attached recorder.
+func (k *Kernel) checkpoint(label string) {
+	if k.rec == nil {
+		return
+	}
+	k.rec.Checkpoint(k.Machine.Meter.Cycles(), label, k.FlightFields())
+}
+
+// FlightFields captures the kernel-visible state for the flight
+// recorder: the full machine state plus the scheduler bookkeeping and a
+// per-process view (lifecycle state, saved pc, restart count, wake
+// deadline, a digest of the saved register file, and a digest of the
+// output each process has printed so far).
+func (k *Kernel) FlightFields() []flightrec.Field {
+	f := k.Machine.FlightFields()
+	var leds uint64
+	for i, on := range k.LEDs {
+		if on {
+			leds |= 1 << i
+		}
+	}
+	var restarts uint64
+	for _, p := range k.Procs {
+		restarts += uint64(p.Restarts)
+	}
+	f = append(f,
+		flightrec.F("kern.switches", k.switches),
+		flightrec.F("kern.faults", k.Faults),
+		flightrec.F("kern.restarts", restarts),
+		flightrec.F("kern.leds", leds),
+	)
+	if n := len(k.Procs); n > 0 {
+		f = append(f, flightrec.F("kern.cursor", k.switches%uint64(n)))
+	}
+	for _, p := range k.Procs {
+		pre := fmt.Sprintf("proc.%d.", p.ID)
+		var regs [32 * 4]byte
+		for i, r := range p.Regs {
+			binary.LittleEndian.PutUint32(regs[i*4:], r)
+		}
+		f = append(f,
+			flightrec.F(pre+"state", uint64(p.State)),
+			flightrec.F(pre+"pc", uint64(p.PC)),
+			flightrec.F(pre+"restarts", uint64(p.Restarts)),
+			flightrec.F(pre+"wake", p.WakeAt),
+			flightrec.F(pre+"regs", flightrec.DigestBytes(regs[:])),
+			flightrec.F(fmt.Sprintf("out.%d", p.ID), flightrec.DigestBytes(k.output[p.ID])),
+		)
+	}
+	return f
 }
 
 // attr charges the cycles since start to a folded-stack window, exactly
@@ -512,6 +586,7 @@ func (k *Kernel) RunOnce() (bool, error) {
 			k.Machine.Meter.Add(earliest - now)
 			k.attr(now, nil, "idle")
 		}
+		k.checkpoint("idle")
 		return true, nil
 	}
 
@@ -524,6 +599,7 @@ func (k *Kernel) RunOnce() (bool, error) {
 		// per process, keep scheduling the rest.
 		k.faultProcess(p, fmt.Errorf("switching in: %v", err))
 		k.attr(t0, p, "fault")
+		k.checkpoint("switch-fault")
 		return true, nil
 	}
 	k.mPMP.Observe(k.Machine.Meter.Cycles() - t0)
@@ -585,6 +661,7 @@ func (k *Kernel) RunOnce() (bool, error) {
 	default:
 		return false, fmt.Errorf("rvkernel: unexpected stop %v", stop.Reason)
 	}
+	k.checkpoint(stop.Reason.String())
 	return true, nil
 }
 

@@ -55,12 +55,21 @@ func chromeName(e Event) string {
 // else becomes an instant event. Nil-safe: a nil tracer writes an empty
 // trace.
 func (t *Tracer) ExportChromeJSON(w io.Writer) error {
+	return t.ExportChromeJSONWindow(w, 0, ^uint64(0))
+}
+
+// ExportChromeJSONWindow is ExportChromeJSON restricted to events whose
+// cycle timestamp falls in [from, to].
+func (t *Tracer) ExportChromeJSONWindow(w io.Writer, from, to uint64) error {
 	out := chromeTrace{TraceEvents: []chromeEvent{}}
 	if t != nil {
 		out.Emitted = t.Emitted()
 		out.Dropped = t.Dropped()
 	}
 	for _, e := range t.Events() {
+		if e.Cycle < from || e.Cycle > to {
+			continue
+		}
 		ce := chromeEvent{
 			Name: chromeName(e),
 			Cat:  e.Kind.String(),
@@ -98,6 +107,12 @@ func (t *Tracer) ExportChromeJSON(w io.Writer) error {
 //
 // Nil-safe: a nil tracer writes only the header.
 func (t *Tracer) ExportText(w io.Writer) error {
+	return t.ExportTextWindow(w, 0, ^uint64(0))
+}
+
+// ExportTextWindow is ExportText restricted to events whose cycle
+// timestamp falls in [from, to].
+func (t *Tracer) ExportTextWindow(w io.Writer, from, to uint64) error {
 	if _, err := fmt.Fprintf(w, "%-16s %-6s %-16s %-16s %s\n",
 		"cycle", "seq", "proc", "kind", "detail"); err != nil {
 		return err
@@ -106,6 +121,9 @@ func (t *Tracer) ExportText(w io.Writer) error {
 		return nil
 	}
 	for _, e := range t.Events() {
+		if e.Cycle < from || e.Cycle > to {
+			continue
+		}
 		proc := "kernel"
 		if e.Proc != KernelProc {
 			proc = fmt.Sprintf("%d/%s", e.Proc, e.Name)

@@ -22,7 +22,11 @@
 //     paper-scale workloads see no contention).
 package trace
 
-import "sync"
+import (
+	"sync"
+
+	"ticktock/internal/metrics"
+)
 
 // Kind classifies a trace event.
 type Kind uint8
@@ -147,6 +151,15 @@ type Tracer struct {
 	cap     int
 	emitted uint64
 	counts  [numKinds]uint64
+
+	// exported is the high-water mark of Seq values that have been read
+	// out through Events() (and hence exported or recorded somewhere).
+	// droppedUnexported counts ring overwrites of events that were never
+	// read — the losses an observer actually cares about, as opposed to
+	// Dropped()'s total overwrite count.
+	exported          uint64
+	droppedUnexported uint64
+	mDropped          *metrics.Counter
 }
 
 // New returns a tracer holding at most capacity events (DefaultCapacity
@@ -175,9 +188,41 @@ func (t *Tracer) Emit(e Event) {
 	if len(t.ring) < t.cap {
 		t.ring = append(t.ring, e)
 	} else {
+		// The slot holds the event emitted cap seqs ago; if nobody has
+		// read past it, that event is lost without ever being seen.
+		if old := e.Seq - uint64(t.cap); old >= t.exported {
+			t.droppedUnexported++
+			t.mDropped.Inc()
+		}
 		t.ring[int(e.Seq)%t.cap] = e
 	}
 	t.mu.Unlock()
+}
+
+// AttachMetrics publishes the tracer's loss accounting to a registry as
+// trace_dropped_total: ring overwrites of events that were never read
+// through Events(). Losses that happened before attachment are trued up
+// so the counter always equals DroppedUnexported(). Nil-safe on both
+// sides.
+func (t *Tracer) AttachMetrics(reg *metrics.Registry) {
+	if t == nil || reg == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.mDropped = reg.Counter("trace_dropped_total")
+	t.mDropped.Add(t.droppedUnexported)
+}
+
+// DroppedUnexported returns how many events were overwritten before any
+// Events() call read them. Nil-safe.
+func (t *Tracer) DroppedUnexported() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.droppedUnexported
 }
 
 // Emitted returns the total number of events ever emitted, including
@@ -224,6 +269,7 @@ func (t *Tracer) Events() []Event {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	out := make([]Event, 0, len(t.ring))
+	t.exported = t.emitted
 	if t.emitted <= uint64(t.cap) {
 		return append(out, t.ring...)
 	}
@@ -244,4 +290,6 @@ func (t *Tracer) Reset() {
 	t.ring = t.ring[:0]
 	t.emitted = 0
 	t.counts = [numKinds]uint64{}
+	t.exported = 0
+	t.droppedUnexported = 0
 }

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"ticktock/internal/metrics"
 )
 
 func TestNilTracerIsSafe(t *testing.T) {
@@ -203,5 +205,61 @@ func TestConcurrentEmit(t *testing.T) {
 		if evs[i].Seq != evs[i-1].Seq+1 {
 			t.Fatalf("events out of order: %d after %d", evs[i].Seq, evs[i-1].Seq)
 		}
+	}
+}
+
+// TestDroppedUnexportedAccounting covers the ring-overwrite counter: an
+// overwritten event counts as dropped-unexported only if nothing ever
+// read it via Events(). Overwrites of already-exported events are benign
+// ring reuse, not data loss.
+func TestDroppedUnexportedAccounting(t *testing.T) {
+	tr := New(4)
+	reg := metrics.NewRegistry()
+	tr.AttachMetrics(reg)
+
+	for i := 0; i < 6; i++ {
+		tr.Emit(Event{Cycle: uint64(i), Kind: KindSysTick})
+	}
+	// Events seq 0 and 1 were overwritten before any export.
+	if got := tr.DroppedUnexported(); got != 2 {
+		t.Fatalf("dropped unexported=%d, want 2", got)
+	}
+
+	// Export the survivors, then wrap the ring completely: these
+	// overwrites recycle exported slots and must NOT count.
+	tr.Events()
+	for i := 0; i < 4; i++ {
+		tr.Emit(Event{Cycle: uint64(100 + i), Kind: KindSysTick})
+	}
+	if got := tr.DroppedUnexported(); got != 2 {
+		t.Fatalf("dropped unexported=%d after exported-slot reuse, want still 2", got)
+	}
+
+	// One more overwrite now hits an event emitted after the export —
+	// never read by anyone, so it counts.
+	tr.Emit(Event{Cycle: 200, Kind: KindSysTick})
+	if got := tr.DroppedUnexported(); got != 3 {
+		t.Fatalf("dropped unexported=%d, want 3", got)
+	}
+	if got := reg.Counter("trace_dropped_total").Value(); got != tr.DroppedUnexported() {
+		t.Fatalf("trace_dropped_total=%d, counter says %d", got, tr.DroppedUnexported())
+	}
+}
+
+// TestAttachMetricsTruesUpPriorDrops checks late attachment: drops that
+// happened before a registry existed are credited on attach.
+func TestAttachMetricsTruesUpPriorDrops(t *testing.T) {
+	tr := New(2)
+	for i := 0; i < 5; i++ {
+		tr.Emit(Event{Kind: KindFault})
+	}
+	want := tr.DroppedUnexported()
+	if want == 0 {
+		t.Fatal("setup emitted no unexported drops")
+	}
+	reg := metrics.NewRegistry()
+	tr.AttachMetrics(reg)
+	if got := reg.Counter("trace_dropped_total").Value(); got != want {
+		t.Fatalf("trace_dropped_total=%d after attach, want %d", got, want)
 	}
 }
