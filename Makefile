@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench profile cover ablation faultcamp accessbench benchjson replaycheck
+.PHONY: ci fmt vet build test race bench profile cover ablation faultcamp accessbench benchjson replaycheck runcheck
 
 # ci is the gate the concurrency-touching paths (parallel difftest
 # campaign, goroutine-safe Stats, tracer, metrics registry) must keep
@@ -69,3 +69,17 @@ replaycheck:
 # scenario error. Same seed, same report, byte for byte.
 faultcamp:
 	$(GO) run ./cmd/faultcamp -n 500
+
+# runcheck exercises the artifact provenance chain end to end: emit a
+# small campaign pack, a difftest pack and a replay pack into ./runpacks,
+# verify every one — including re-deriving each result in-process from
+# its receipt — and replay the committed distilled-regression suite
+# under the race detector. See docs/ARTIFACTS.md.
+runcheck:
+	rm -rf runpacks && mkdir -p runpacks
+	$(GO) run ./cmd/faultcamp -seed 7 -n 20 -runpack runpacks
+	$(GO) run ./cmd/difftest -runpack runpacks
+	$(GO) run ./cmd/replay -record mpu_walk_region -runpack runpacks
+	$(GO) run ./cmd/runpack ls runpacks
+	$(GO) run ./cmd/runpack verify -rerun runpacks/*
+	$(GO) test -race -run 'TestRegressions|TestRegressionFailsBeforeFix|TestCommittedPackContents' ./internal/runpack/

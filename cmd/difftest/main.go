@@ -11,6 +11,12 @@
 // Usage:
 //
 //	difftest [-v] [-j N] [-notrace] [-bug grant-overlap|brk-underflow|missed-mode-switch]
+//	         [-runpack DIR] [-distill DIR]
+//
+// With -runpack DIR the campaign is sealed into a content-addressed
+// artifact pack under DIR (verify it with `runpack verify`). With
+// -distill DIR every row that misses its expectation is additionally
+// bisected and distilled into a minimal regression pack under DIR.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"os"
 
 	"ticktock/internal/difftest"
+	"ticktock/internal/runpack"
 )
 
 func main() {
@@ -26,9 +33,11 @@ func main() {
 	workers := flag.Int("j", 0, "worker pool size (0 = GOMAXPROCS)")
 	notrace := flag.Bool("notrace", false, "disable divergence trace dumps")
 	bug := flag.String("bug", "", "re-enable a published baseline bug (grant-overlap, brk-underflow, missed-mode-switch)")
+	packDir := flag.String("runpack", "", "seal the campaign into a content-addressed artifact pack under DIR")
+	distillDir := flag.String("distill", "", "distill every unexpected divergence into a regression pack under DIR")
 	flag.Parse()
 
-	cfg := difftest.Config{Workers: *workers, NoTraceDump: *notrace}
+	cfg := difftest.Config{Workers: *workers, NoTraceDump: *notrace, Metrics: *packDir != ""}
 	switch *bug {
 	case "":
 	case "grant-overlap":
@@ -44,6 +53,27 @@ func main() {
 
 	rows := difftest.RunAllConfig(cfg)
 	fmt.Print(difftest.Table(rows))
+	if *packDir != "" {
+		dir, receipt, err := runpack.EmitDifftest(*packDir, cfg, rows)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "difftest: sealing runpack: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "runpack: %s\n%s\n", dir, receipt)
+	}
+	if *distillDir != "" {
+		for _, r := range rows {
+			if r.Err != nil || r.OK() {
+				continue
+			}
+			dir, _, err := runpack.DistillCase(*distillDir, r.Name, cfg.Bugs)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "difftest: distilling %s: %v\n", r.Name, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "distilled %s -> %s\n", r.Name, dir)
+		}
+	}
 	for _, r := range rows {
 		if *verbose && !r.Equal && r.Err == nil {
 			fmt.Printf("\n--- %s (ticktock) ---\n%s--- %s (tock) ---\n%s", r.Name, r.TickTock, r.Name, r.Tock)

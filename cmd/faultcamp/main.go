@@ -6,6 +6,7 @@
 // Usage:
 //
 //	faultcamp [-seed N] [-n N] [-workers N] [-rows] [-metrics] [-replay]
+//	          [-runpack DIR] [-distill DIR]
 //
 // The same seed reproduces a byte-identical report. The exit status is
 // non-zero when any scenario hit an infrastructure error or — the hard
@@ -13,6 +14,11 @@
 // run is flight-recorded and the machine state immediately before the
 // violation is replayed and printed — the time-travel view of how the
 // contract broke.
+//
+// With -runpack DIR the campaign is sealed into a content-addressed
+// artifact pack under DIR (verify it with `runpack verify`). With
+// -distill DIR every scenario whose isolation sweep found violations is
+// additionally distilled into a minimal regression pack under DIR.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"ticktock/internal/difftest"
 	"ticktock/internal/faultinject"
 	"ticktock/internal/metrics"
+	"ticktock/internal/runpack"
 )
 
 func main() {
@@ -33,10 +40,34 @@ func main() {
 	rows := flag.Bool("rows", false, "print the per-scenario cross-port table")
 	metricsOut := flag.Bool("metrics", false, "print the fault_* series in Prometheus exposition format")
 	replay := flag.Bool("replay", false, "flight-record violating runs and print their pre-violation state")
+	packDir := flag.String("runpack", "", "seal the campaign into a content-addressed artifact pack under DIR")
+	distillDir := flag.String("distill", "", "distill every violating scenario into a regression pack under DIR")
 	flag.Parse()
 
-	rep := faultinject.Run(faultinject.Config{Seed: *seed, N: *n, Workers: *workers, Record: *replay})
+	rep := faultinject.Run(faultinject.Config{Seed: *seed, N: *n, Workers: *workers, Record: *replay || *packDir != ""})
 	fmt.Print(rep.Text())
+
+	if *packDir != "" {
+		dir, receipt, err := runpack.EmitFaultcamp(*packDir, rep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faultcamp: sealing runpack: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "runpack: %s\n%s\n", dir, receipt)
+	}
+	if *distillDir != "" {
+		for _, res := range rep.Results {
+			if len(res.ARM.Violations)+len(res.RV.Violations) == 0 {
+				continue
+			}
+			dir, _, err := runpack.DistillScenario(*distillDir, rep.Config, res.Scenario.Index)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "faultcamp: distilling %s: %v\n", res.Scenario.Label(), err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "distilled %s -> %s\n", res.Scenario.Label(), dir)
+		}
+	}
 
 	if *replay {
 		for _, res := range rep.Results {

@@ -31,12 +31,14 @@ import (
 	"ticktock/internal/difftest"
 	"ticktock/internal/flightrec"
 	"ticktock/internal/kernel"
+	"ticktock/internal/runpack"
 )
 
 func main() {
 	record := flag.String("record", "", "record this release-test case to -o")
 	flavour := flag.String("flavour", "ticktock", "kernel flavour when recording: ticktock or tock")
 	outPath := flag.String("o", "", "output file for -record")
+	packDir := flag.String("runpack", "", "seal the recording into a content-addressed artifact pack under DIR")
 	inPath := flag.String("in", "", "recording to replay")
 	toCycle := flag.Uint64("to-cycle", ^uint64(0), "replay to the last snapshot at or before this cycle")
 	step := flag.Int("step", 0, "after positioning, step forward this many snapshots")
@@ -46,7 +48,7 @@ func main() {
 
 	switch {
 	case *record != "":
-		if err := doRecord(*record, *flavour, *outPath); err != nil {
+		if err := doRecord(*record, *flavour, *outPath, *packDir); err != nil {
 			fail(err)
 		}
 	case *diff != "":
@@ -68,9 +70,9 @@ func fail(err error) {
 	os.Exit(1)
 }
 
-func doRecord(caseName, flavour, outPath string) error {
-	if outPath == "" {
-		return fmt.Errorf("-record needs -o FILE")
+func doRecord(caseName, flavour, outPath, packDir string) error {
+	if outPath == "" && packDir == "" {
+		return fmt.Errorf("-record needs -o FILE or -runpack DIR")
 	}
 	var tc *apps.TestCase
 	all := apps.All()
@@ -96,16 +98,25 @@ func doRecord(caseName, flavour, outPath string) error {
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(outPath)
-	if err != nil {
-		return err
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rec.Encode(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "recorded %s on %s: %d snapshots, %d events, final cycle %d -> %s\n",
+			tc.Name, fl, len(rec.Snapshots), len(rec.Events), k.Meter().Cycles(), outPath)
 	}
-	defer f.Close()
-	if err := rec.Encode(f); err != nil {
-		return err
+	if packDir != "" {
+		dir, receipt, err := runpack.EmitReplay(packDir, tc.Name, fl, rec)
+		if err != nil {
+			return fmt.Errorf("sealing runpack: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "runpack: %s\n%s\n", dir, receipt)
 	}
-	fmt.Fprintf(os.Stderr, "recorded %s on %s: %d snapshots, %d events, final cycle %d -> %s\n",
-		tc.Name, fl, len(rec.Snapshots), len(rec.Events), k.Meter().Cycles(), outPath)
 	return nil
 }
 

@@ -4,9 +4,16 @@
 // benchmark with wall time, simulated cycles and the speedup against the
 // suite's oracle baseline — so a perf trajectory can be plotted across
 // commits without parsing `go test -bench` text.
+//
+// Every artifact carries a sha256 self-digest over its canonical JSON
+// (the file with the digest field blanked), so downstream tooling —
+// `benchtab -validate`, `runpack verify` — can detect a tampered or
+// bit-rotted artifact without any out-of-band manifest.
 package benchjson
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -15,7 +22,7 @@ import (
 // Schema is the current artifact schema version. Bump on any
 // field change so downstream tooling can reject files it does not
 // understand.
-const Schema = 1
+const Schema = 2
 
 // Row is one benchmark result.
 type Row struct {
@@ -39,11 +46,38 @@ type File struct {
 	Schema int    `json:"schema"`
 	Suite  string `json:"suite"`
 	Rows   []Row  `json:"rows"`
+	// Digest is the sha256 self-digest (hex) over the file's canonical
+	// JSON with this field set to "". WriteFile stamps it; Validate
+	// re-derives and compares it.
+	Digest string `json:"sha256"`
+}
+
+// ComputeDigest returns the canonical self-digest of f: sha256 over the
+// compact JSON encoding with the digest field blanked.
+func (f *File) ComputeDigest() (string, error) {
+	blank := *f
+	blank.Digest = ""
+	data, err := json.Marshal(&blank)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Stamp fills in the self-digest.
+func (f *File) Stamp() error {
+	d, err := f.ComputeDigest()
+	if err != nil {
+		return err
+	}
+	f.Digest = d
+	return nil
 }
 
 // Validate checks the invariants CI enforces before archiving: known
-// schema, named suite, at least one row, and every row named with sane
-// numbers.
+// schema, named suite, at least one row, every row named with sane
+// numbers, and — when the artifact is stamped — a matching self-digest.
 func (f *File) Validate() error {
 	if f.Schema != Schema {
 		return fmt.Errorf("benchjson: schema %d, want %d", f.Schema, Schema)
@@ -67,11 +101,26 @@ func (f *File) Validate() error {
 			return fmt.Errorf("benchjson: row %s has a negative measurement", r.Name)
 		}
 	}
+	if f.Digest == "" {
+		return fmt.Errorf("benchjson: suite %s is missing its sha256 self-digest", f.Suite)
+	}
+	want, err := f.ComputeDigest()
+	if err != nil {
+		return err
+	}
+	if f.Digest != want {
+		return fmt.Errorf("benchjson: suite %s self-digest mismatch: stored %s, computed %s — artifact corrupted or hand-edited",
+			f.Suite, f.Digest, want)
+	}
 	return nil
 }
 
-// WriteFile validates f and writes it as indented JSON.
+// WriteFile stamps f's self-digest, validates it and writes it as
+// indented JSON.
 func WriteFile(path string, f *File) error {
+	if err := f.Stamp(); err != nil {
+		return err
+	}
 	if err := f.Validate(); err != nil {
 		return err
 	}
@@ -88,12 +137,22 @@ func ReadFile(path string) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
+	f, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// Parse decodes and validates an artifact held in memory — the entry
+// point runpack verify uses on pack members.
+func Parse(data []byte) (*File, error) {
 	var f File
 	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("benchjson: %s: %w", path, err)
+		return nil, fmt.Errorf("benchjson: %w", err)
 	}
 	if err := f.Validate(); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, err
 	}
 	return &f, nil
 }

@@ -8,7 +8,7 @@ import (
 )
 
 func valid() *File {
-	return &File{
+	f := &File{
 		Schema: Schema,
 		Suite:  "kernel",
 		Rows: []Row{
@@ -16,6 +16,10 @@ func valid() *File {
 			{Name: "kctx/tock", NsPerOp: 118.2, SimCycles: 255, Speedup: 1},
 		},
 	}
+	if err := f.Stamp(); err != nil {
+		panic(err)
+	}
+	return f
 }
 
 func TestRoundTrip(t *testing.T) {
@@ -36,7 +40,7 @@ func TestRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{`"schema"`, `"suite"`, `"rows"`, `"name"`, `"ns_per_op"`, `"sim_cycles"`, `"speedup_vs_oracle"`} {
+	for _, key := range []string{`"schema"`, `"suite"`, `"rows"`, `"name"`, `"ns_per_op"`, `"sim_cycles"`, `"speedup_vs_oracle"`, `"sha256"`} {
 		if !strings.Contains(string(raw), key) {
 			t.Fatalf("artifact missing %s key:\n%s", key, raw)
 		}
@@ -49,12 +53,16 @@ func TestValidateRejects(t *testing.T) {
 		mutate func(*File)
 		want   string
 	}{
-		{"bad schema", func(f *File) { f.Schema = 2 }, "schema"},
+		{"bad schema", func(f *File) { f.Schema = Schema + 1 }, "schema"},
+		{"old schema", func(f *File) { f.Schema = 1 }, "schema"},
 		{"no suite", func(f *File) { f.Suite = "" }, "suite"},
 		{"no rows", func(f *File) { f.Rows = nil }, "no rows"},
 		{"unnamed row", func(f *File) { f.Rows[1].Name = "" }, "unnamed"},
 		{"duplicate row", func(f *File) { f.Rows[1].Name = f.Rows[0].Name }, "duplicate"},
 		{"negative", func(f *File) { f.Rows[0].NsPerOp = -1 }, "negative"},
+		{"missing digest", func(f *File) { f.Digest = "" }, "self-digest"},
+		{"wrong digest", func(f *File) { f.Digest = strings.Repeat("0", 64) }, "mismatch"},
+		{"stale digest", func(f *File) { f.Rows[0].NsPerOp = 999 }, "mismatch"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -65,6 +73,40 @@ func TestValidateRejects(t *testing.T) {
 				t.Fatalf("Validate() = %v, want error mentioning %q", err, tc.want)
 			}
 		})
+	}
+}
+
+// TestDigestDetectsTamper is the artifact-integrity contract: flipping
+// any single byte of a written artifact's JSON values must make
+// ReadFile fail (either the JSON breaks or the self-digest mismatches).
+func TestDigestDetectsTamper(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := WriteFile(path, valid()); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with a measured value: 120.5 -> 121.5.
+	bad := strings.Replace(string(raw), "120.5", "121.5", 1)
+	if bad == string(raw) {
+		t.Fatal("tamper target not found")
+	}
+	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil || !strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("tampered artifact accepted: %v", err)
+	}
+}
+
+// TestDigestDeterministic: stamping the same logical file twice yields
+// the same digest, so identical runs produce identical artifacts.
+func TestDigestDeterministic(t *testing.T) {
+	a, b := valid(), valid()
+	if a.Digest != b.Digest {
+		t.Fatalf("digest not deterministic: %s vs %s", a.Digest, b.Digest)
 	}
 }
 

@@ -100,18 +100,27 @@ func RunScenario(sc Scenario, cfg Config) Result {
 // reproduces the injected faults exactly as the campaign saw them — the
 // injection comes back from the recorded state, it is never re-rolled.
 func RecordScenario(sc Scenario, cfg Config) (arm, rv *flightrec.Recording, err error) {
+	return RecordRuns(sc, cfg, true)
+}
+
+// RecordRuns re-runs one scenario on both ports under the flight
+// recorder, with or without the injection armed — the uninjected
+// recording is the clean twin a campaign violation is bisected against
+// (runpack's auto-distillation). Same determinism contract as
+// RecordScenario.
+func RecordRuns(sc Scenario, cfg Config, inject bool) (arm, rv *flightrec.Recording, err error) {
 	cfg = cfg.withDefaults()
 	armPort := "arm-ticktock"
 	if sc.Monolithic {
 		armPort = "arm-tock"
 	}
 	armRec := flightrec.NewRecorder(armPort)
-	if _, _, _, err := armRun(sc, cfg, true, armRec); err != nil {
+	if _, _, _, err := armRun(sc, cfg, inject, armRec); err != nil {
 		return nil, nil, fmt.Errorf("faultinject: recording %s: %w", armPort, err)
 	}
 	chip := riscv.Chips[sc.Chip%len(riscv.Chips)]
 	rvRec := flightrec.NewRecorder("rv32-" + chip.Name)
-	if _, _, _, err := rvRun(sc, cfg, chip, true, rvRec); err != nil {
+	if _, _, _, err := rvRun(sc, cfg, chip, inject, rvRec); err != nil {
 		return nil, nil, fmt.Errorf("faultinject: recording rv32-%s: %w", chip.Name, err)
 	}
 	return armRec.Finish(), rvRec.Finish(), nil

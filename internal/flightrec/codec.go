@@ -2,11 +2,12 @@ package flightrec
 
 // The recording codec: a canonical, versioned little-endian binary
 // format so recordings can be saved, shipped and diffed offline
-// (cmd/replay). Canonical means the same recording always encodes to the
-// same bytes — the replay-determinism acceptance check compares
-// encodings directly.
+// (cmd/replay, runpack artifacts). Canonical means the same recording
+// always encodes to the same bytes — the replay-determinism acceptance
+// check compares encodings directly, and the runpack manifests hash
+// them.
 //
-// Layout (version 1):
+// Layout (version 2):
 //
 //	magic   "TTFR"
 //	u16     version
@@ -19,14 +20,19 @@ package flightrec
 //	u32     event count
 //	  per event: u64 seq, u64 cycle, u8 kind, i64 proc, str name,
 //	             u64 a, u64 b, str label
+//	u32     CRC-32 (IEEE) over every preceding byte
 //
 // Strings are u32 length + bytes. Snapshot indices are implicit
-// (positional).
+// (positional). Version 2 added the trailing checksum so a truncated or
+// bit-flipped recording fails closed at decode time instead of
+// replaying garbage; the decoder reports the byte offset and the
+// section being parsed when it rejects input.
 
 import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"ticktock/internal/trace"
@@ -35,8 +41,18 @@ import (
 // Magic identifies a flight recording file.
 const Magic = "TTFR"
 
-// Version is the current format version.
-const Version = 1
+// Version is the current format version. Version 2 appended the CRC-32
+// integrity footer; version-1 recordings (which had no checksum) are
+// rejected rather than trusted.
+const Version = 2
+
+// Decode sanity bounds: a length field beyond these is corruption, not
+// a plausible recording, so the decoder fails before allocating.
+const (
+	maxStrLen    = 1 << 20 // labels, field names, port names
+	maxPageLen   = 1 << 20 // one dirty page (DirtyPageSize is 256)
+	maxItemCount = 1 << 24 // snapshots, fields, pages, events
+)
 
 type encoder struct {
 	w   *bufio.Writer
@@ -59,7 +75,8 @@ func (e *encoder) str(s string) {
 
 // Encode writes the recording in the canonical binary format.
 func (r *Recording) Encode(w io.Writer) error {
-	e := &encoder{w: bufio.NewWriter(w)}
+	crc := crc32.NewIEEE()
+	e := &encoder{w: bufio.NewWriter(io.MultiWriter(w, crc))}
 	e.bytes([]byte(Magic))
 	e.u16(Version)
 	e.str(r.Port)
@@ -97,100 +114,177 @@ func (r *Recording) Encode(w io.Writer) error {
 	if e.err != nil {
 		return e.err
 	}
-	return e.w.Flush()
+	// The footer covers everything buffered so far; flush the body into
+	// the CRC before sealing it.
+	if err := e.w.Flush(); err != nil {
+		return err
+	}
+	var footer [4]byte
+	binary.LittleEndian.PutUint32(footer[:], crc.Sum32())
+	if _, err := w.Write(footer[:]); err != nil {
+		return err
+	}
+	return nil
 }
 
+// decoder reads the canonical format, tracking the byte offset and the
+// section being parsed so corruption reports say *where* the recording
+// broke, and feeding every consumed byte through the running CRC.
 type decoder struct {
-	r   *bufio.Reader
-	err error
+	r       *bufio.Reader
+	crc     hash32
+	off     int64
+	section string
+	err     error
 }
 
-func (d *decoder) bytes(n uint32) []byte {
+type hash32 interface {
+	Write(p []byte) (int, error)
+	Sum32() uint32
+}
+
+// fail records the first error, annotated with offset and section.
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("flightrec: %s (offset %d, %s)", fmt.Sprintf(format, args...), d.off, d.section)
+	}
+}
+
+func (d *decoder) bytes(n uint32, what string) []byte {
 	if d.err != nil {
 		return nil
 	}
-	if n > 1<<28 {
-		d.err = fmt.Errorf("flightrec: implausible length %d", n)
+	b := make([]byte, n)
+	read, err := io.ReadFull(d.r, b)
+	d.off += int64(read)
+	if err != nil {
+		d.fail("truncated reading %s: %v", what, err)
 		return nil
 	}
-	b := make([]byte, n)
-	_, d.err = io.ReadFull(d.r, b)
+	d.crc.Write(b)
 	return b
 }
-func (d *decoder) u8() uint8 {
-	b := d.bytes(1)
+func (d *decoder) u8(what string) uint8 {
+	b := d.bytes(1, what)
 	if d.err != nil {
 		return 0
 	}
 	return b[0]
 }
-func (d *decoder) u16() uint16 {
-	b := d.bytes(2)
+func (d *decoder) u16(what string) uint16 {
+	b := d.bytes(2, what)
 	if d.err != nil {
 		return 0
 	}
 	return binary.LittleEndian.Uint16(b)
 }
-func (d *decoder) u32() uint32 {
-	b := d.bytes(4)
+func (d *decoder) u32(what string) uint32 {
+	b := d.bytes(4, what)
 	if d.err != nil {
 		return 0
 	}
 	return binary.LittleEndian.Uint32(b)
 }
-func (d *decoder) u64() uint64 {
-	b := d.bytes(8)
+func (d *decoder) u64(what string) uint64 {
+	b := d.bytes(8, what)
 	if d.err != nil {
 		return 0
 	}
 	return binary.LittleEndian.Uint64(b)
 }
-func (d *decoder) str() string { return string(d.bytes(d.u32())) }
+func (d *decoder) str(what string) string {
+	n := d.u32(what + " length")
+	if d.err == nil && n > maxStrLen {
+		d.fail("implausible %s length %d", what, n)
+	}
+	return string(d.bytes(n, what))
+}
 
-// Decode reads a recording written by Encode, rejecting unknown magic or
-// versions.
+// count reads an item count, bounding it against corrupted length
+// fields that would otherwise drive huge allocations.
+func (d *decoder) count(what string) uint32 {
+	n := d.u32(what)
+	if d.err == nil && n > maxItemCount {
+		d.fail("implausible %s %d", what, n)
+	}
+	return n
+}
+
+// Decode reads a recording written by Encode. It fails closed: bad
+// magic, unsupported versions, truncation, implausible length fields
+// and checksum mismatches all return a descriptive error naming the
+// byte offset and the section that broke — a recording that decodes is
+// bit-exact with what was encoded.
 func Decode(r io.Reader) (*Recording, error) {
-	d := &decoder{r: bufio.NewReader(r)}
-	if magic := string(d.bytes(4)); d.err == nil && magic != Magic {
+	d := &decoder{r: bufio.NewReader(r), crc: crc32.NewIEEE(), section: "header"}
+	if magic := string(d.bytes(4, "magic")); d.err == nil && magic != Magic {
 		return nil, fmt.Errorf("flightrec: bad magic %q (want %q)", magic, Magic)
 	}
-	if v := d.u16(); d.err == nil && v != Version {
+	if v := d.u16("version"); d.err == nil && v != Version {
 		return nil, fmt.Errorf("flightrec: unsupported format version %d (want %d)", v, Version)
 	}
 	rec := &Recording{}
-	rec.Port = d.str()
-	rec.PageSize = d.u32()
-	nsnap := d.u32()
+	rec.Port = d.str("port")
+	rec.PageSize = d.u32("page size")
+	nsnap := d.count("snapshot count")
 	for i := uint32(0); i < nsnap && d.err == nil; i++ {
+		d.section = fmt.Sprintf("snapshot %d", i)
 		s := Snapshot{Index: int(i)}
-		s.Cycle = d.u64()
-		s.EventSeq = d.u64()
-		s.Keyframe = d.u8() != 0
-		s.Label = d.str()
-		nf := d.u32()
+		s.Cycle = d.u64("cycle")
+		s.EventSeq = d.u64("event seq")
+		s.Keyframe = d.u8("keyframe flag") != 0
+		s.Label = d.str("label")
+		nf := d.count("field count")
 		for j := uint32(0); j < nf && d.err == nil; j++ {
-			name := d.str()
-			s.Fields = append(s.Fields, Field{Name: name, Val: d.u64()})
+			name := d.str("field name")
+			s.Fields = append(s.Fields, Field{Name: name, Val: d.u64("field value")})
 		}
-		np := d.u32()
+		np := d.count("page count")
 		for j := uint32(0); j < np && d.err == nil; j++ {
-			base := d.u32()
-			s.Pages = append(s.Pages, Page{Base: base, Data: d.bytes(d.u32())})
+			base := d.u32("page base")
+			n := d.u32("page length")
+			if d.err == nil && n > maxPageLen {
+				d.fail("implausible page length %d", n)
+			}
+			s.Pages = append(s.Pages, Page{Base: base, Data: d.bytes(n, "page data")})
 		}
 		rec.Snapshots = append(rec.Snapshots, s)
 	}
-	nev := d.u32()
+	d.section = "events"
+	nev := d.count("event count")
 	for i := uint32(0); i < nev && d.err == nil; i++ {
+		d.section = fmt.Sprintf("event %d", i)
 		var ev trace.Event
-		ev.Seq = d.u64()
-		ev.Cycle = d.u64()
-		ev.Kind = trace.Kind(d.u8())
-		ev.Proc = int(int64(d.u64()))
-		ev.Name = d.str()
-		ev.A = d.u64()
-		ev.B = d.u64()
-		ev.Label = d.str()
+		ev.Seq = d.u64("seq")
+		ev.Cycle = d.u64("cycle")
+		ev.Kind = trace.Kind(d.u8("kind"))
+		ev.Proc = int(int64(d.u64("proc")))
+		ev.Name = d.str("name")
+		ev.A = d.u64("a")
+		ev.B = d.u64("b")
+		ev.Label = d.str("label")
 		rec.Events = append(rec.Events, ev)
+	}
+	d.section = "checksum"
+	computed := d.crc.Sum32()
+	var footer [4]byte
+	if d.err == nil {
+		read, err := io.ReadFull(d.r, footer[:])
+		d.off += int64(read)
+		if err != nil {
+			d.fail("truncated reading checksum: %v", err)
+		}
+	}
+	if d.err == nil {
+		if stored := binary.LittleEndian.Uint32(footer[:]); stored != computed {
+			d.fail("checksum mismatch: stored 0x%08x, computed 0x%08x", stored, computed)
+		}
+	}
+	if d.err == nil {
+		// Trailing garbage means the stream is not a single recording.
+		if _, err := d.r.ReadByte(); err == nil {
+			d.fail("trailing data after checksum")
+		}
 	}
 	if d.err != nil {
 		return nil, d.err

@@ -1,0 +1,158 @@
+package flightrec_test
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ticktock/internal/flightrec"
+	"ticktock/internal/trace"
+)
+
+// encodeSample builds a small but structurally complete recording —
+// keyframe + delta snapshots, fields, pages, interleaved events — and
+// returns its canonical encoding.
+func encodeSample(t testing.TB) []byte {
+	t.Helper()
+	rec := &flightrec.Recording{
+		Port:     "corrupt-test",
+		PageSize: 256,
+		Snapshots: []flightrec.Snapshot{
+			{
+				Index: 0, Cycle: 100, EventSeq: 1, Label: "q0", Keyframe: true,
+				Fields: []flightrec.Field{flightrec.F("cpu.pc", 0x2000_0000), flightrec.F("cpu.priv", 1)},
+				Pages:  []flightrec.Page{{Base: 0x2000_0000, Data: bytes.Repeat([]byte{0xab}, 256)}},
+			},
+			{
+				Index: 1, Cycle: 200, EventSeq: 2, Label: "q1",
+				Fields: []flightrec.Field{flightrec.F("cpu.pc", 0x2000_0004), flightrec.F("cpu.priv", 0)},
+				Pages:  []flightrec.Page{{Base: 0x2000_0100, Data: bytes.Repeat([]byte{0xcd}, 256)}},
+			},
+		},
+		Events: []trace.Event{
+			{Seq: 0, Cycle: 50, Kind: trace.KindSyscallEnter, Proc: 0, Name: "app", A: 1, Label: "command"},
+			{Seq: 1, Cycle: 150, Kind: trace.KindFault, Proc: trace.KernelProc, Label: "boom"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := rec.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestDecodeTruncated cuts the encoding at every possible prefix length
+// and requires a descriptive error each time — truncation must fail
+// closed, never panic, never return a partial recording.
+func TestDecodeTruncated(t *testing.T) {
+	enc := encodeSample(t)
+	for n := 0; n < len(enc); n++ {
+		_, err := flightrec.Decode(bytes.NewReader(enc[:n]))
+		if err == nil {
+			t.Fatalf("truncation to %d/%d bytes decoded without error", n, len(enc))
+		}
+		if !strings.Contains(err.Error(), "flightrec:") {
+			t.Fatalf("truncation to %d bytes: undescriptive error %v", n, err)
+		}
+	}
+	// The error should name where the stream broke.
+	_, err := flightrec.Decode(bytes.NewReader(enc[:len(enc)-2]))
+	if err == nil || !strings.Contains(err.Error(), "offset") {
+		t.Fatalf("truncated checksum error missing offset: %v", err)
+	}
+}
+
+// TestDecodeBitFlips flips every bit of the sample encoding, one at a
+// time, and requires the decoder to reject the corrupted stream — the
+// CRC footer makes single-bit corruption always detectable.
+func TestDecodeBitFlips(t *testing.T) {
+	enc := encodeSample(t)
+	for i := range enc {
+		for bit := 0; bit < 8; bit++ {
+			bad := append([]byte(nil), enc...)
+			bad[i] ^= 1 << bit
+			if _, err := flightrec.Decode(bytes.NewReader(bad)); err == nil {
+				t.Fatalf("flipping byte %d bit %d went undetected", i, bit)
+			}
+		}
+	}
+}
+
+// TestDecodeErrorNamesSection checks the error context a debugger
+// actually reads: corrupting a field-count length inside a snapshot
+// must blame that snapshot, with the byte offset.
+func TestDecodeErrorNamesSection(t *testing.T) {
+	enc := encodeSample(t)
+	// Blow up the snapshot-count field (offset: magic 4 + version 2 +
+	// str "corrupt-test" (4+12) + page size 4 = 26).
+	bad := append([]byte(nil), enc...)
+	bad[26] = 0xff
+	bad[27] = 0xff
+	bad[28] = 0xff
+	bad[29] = 0xff
+	_, err := flightrec.Decode(bytes.NewReader(bad))
+	if err == nil {
+		t.Fatal("implausible snapshot count accepted")
+	}
+	if !strings.Contains(err.Error(), "snapshot count") || !strings.Contains(err.Error(), "offset") {
+		t.Fatalf("error does not name section and offset: %v", err)
+	}
+}
+
+// TestDecodeRejectsTrailingGarbage: appended bytes mean the stream is
+// not the single recording its header claims.
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	enc := append(encodeSample(t), 0x00)
+	if _, err := flightrec.Decode(bytes.NewReader(enc)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+// TestDecodeRandomCorruption hammers the decoder with seeded random
+// multi-byte corruption and truncations; every outcome must be a clean
+// error or a successful decode (when corruption hit only ignorable
+// bits, which the CRC rules out) — never a panic.
+func TestDecodeRandomCorruption(t *testing.T) {
+	enc := encodeSample(t)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		bad := append([]byte(nil), enc...)
+		for k := 0; k < 1+rng.Intn(8); k++ {
+			bad[rng.Intn(len(bad))] ^= byte(1 + rng.Intn(255))
+		}
+		if rng.Intn(4) == 0 {
+			bad = bad[:rng.Intn(len(bad)+1)]
+		}
+		rec, err := flightrec.Decode(bytes.NewReader(bad))
+		if err == nil && !bytes.Equal(bad, enc) {
+			// A decode that succeeds must round-trip to the same bytes —
+			// anything else is silent corruption.
+			var re bytes.Buffer
+			if encErr := rec.Encode(&re); encErr != nil || !bytes.Equal(re.Bytes(), bad) {
+				t.Fatalf("trial %d: corrupted stream decoded but is not canonical", trial)
+			}
+		}
+	}
+}
+
+// FuzzDecode feeds arbitrary bytes to the decoder; the only contract is
+// no panic, and that anything that decodes re-encodes canonically.
+func FuzzDecode(f *testing.F) {
+	f.Add(encodeSample(f))
+	f.Add([]byte("TTFR"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := flightrec.Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var re bytes.Buffer
+		if err := rec.Encode(&re); err != nil {
+			t.Fatalf("decoded recording failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re.Bytes(), data) {
+			t.Fatal("decode/encode round-trip not canonical")
+		}
+	})
+}

@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// populate books the same logical series set into a registry, with the
+// creation order, label order and goroutine interleaving chosen by the
+// seed. The recorded *values* are fixed; only incidental ordering
+// varies — which is exactly what must not leak into exports.
+func populate(reg *Registry, seed int64) {
+	type op func()
+	var ops []op
+	for port := 0; port < 3; port++ {
+		port := port
+		for kind := 0; kind < 4; kind++ {
+			kind := kind
+			ops = append(ops, func() {
+				labels := []Label{L("port", fmt.Sprintf("p%d", port)), L("kind", fmt.Sprintf("k%d", kind))}
+				if (port+kind)%2 == 1 { // vary label argument order
+					labels[0], labels[1] = labels[1], labels[0]
+				}
+				reg.Counter("runs_total", labels...).Add(uint64(10*port + kind))
+				reg.Gauge("depth", labels...).Set(int64(port - kind))
+				h := reg.Histogram("cycles", labels...)
+				for v := uint64(1); v < 100; v += 7 {
+					h.Observe(v * uint64(port+1))
+				}
+			})
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(ops), func(i, j int) { ops[i], ops[j] = ops[j], ops[i] })
+	var wg sync.WaitGroup
+	for _, o := range ops {
+		wg.Add(1)
+		go func(o op) {
+			defer wg.Done()
+			o()
+		}(o)
+	}
+	wg.Wait()
+}
+
+// TestExportPrometheusByteDeterministic is the runpack determinism
+// regression: two registries holding the same series — created in
+// different orders, from different goroutine interleavings, with label
+// arguments permuted — must export byte-identical Prometheus
+// expositions, so identical runs hash to identical artifacts.
+func TestExportPrometheusByteDeterministic(t *testing.T) {
+	var dumps []string
+	for seed := int64(0); seed < 8; seed++ {
+		reg := NewRegistry()
+		populate(reg, seed)
+		var b strings.Builder
+		if err := reg.ExportPrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		dumps = append(dumps, b.String())
+	}
+	for i := 1; i < len(dumps); i++ {
+		if dumps[i] != dumps[0] {
+			t.Fatalf("export for seed %d differs from seed 0:\n%s\n---\n%s", i, dumps[i], dumps[0])
+		}
+	}
+	// Exporting the same registry twice must also be stable.
+	reg := NewRegistry()
+	populate(reg, 99)
+	var a, b strings.Builder
+	if err := reg.ExportPrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.ExportPrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("re-exporting the same registry changed the bytes")
+	}
+}
+
+// TestExportTableByteDeterministic pins the human-readable table the
+// same way — it rides along in runpack artifacts too.
+func TestExportTableByteDeterministic(t *testing.T) {
+	regA, regB := NewRegistry(), NewRegistry()
+	populate(regA, 3)
+	populate(regB, 4)
+	if regA.TableDump() != regB.TableDump() {
+		t.Fatal("table export depends on creation order")
+	}
+}
+
+// TestMergePreservesDeterminism: merging per-worker registries in any
+// order must produce the same exposition — the campaign worker pool's
+// snapshot-then-merge pattern relies on it.
+func TestMergePreservesDeterminism(t *testing.T) {
+	build := func(order []int) string {
+		parts := make([]*Registry, 3)
+		for i := range parts {
+			parts[i] = NewRegistry()
+			populate(parts[i], int64(i))
+		}
+		out := NewRegistry()
+		for _, i := range order {
+			out.Merge(parts[i])
+		}
+		var b strings.Builder
+		if err := out.ExportPrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if build([]int{0, 1, 2}) != build([]int{2, 0, 1}) {
+		t.Fatal("merge order leaks into the exposition")
+	}
+}

@@ -46,10 +46,18 @@ func escapeLabelValue(v string) string {
 	return r.Replace(v)
 }
 
-// sortLabels returns a sorted copy of the label set.
+// sortLabels returns a sorted copy of the label set. The order is total
+// — ties on Key break on Value — so a label set always renders to the
+// same series ID and exports stay byte-deterministic even for malformed
+// duplicate-key sets.
 func sortLabels(labels []Label) []Label {
 	out := append([]Label(nil), labels...)
-	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key != out[j].Key {
+			return out[i].Key < out[j].Key
+		}
+		return out[i].Value < out[j].Value
+	})
 	return out
 }
 

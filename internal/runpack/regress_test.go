@@ -1,0 +1,168 @@
+package runpack
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ticktock/internal/difftest"
+	"ticktock/internal/kernel"
+	"ticktock/internal/monolithic"
+)
+
+// regressionsRoot holds the distilled regression packs committed to the
+// repo — every pack in it replays in CI via TestRegressions.
+const regressionsRoot = "testdata/regressions"
+
+func regressionDirs(t *testing.T) []string {
+	t.Helper()
+	dirs, err := List(regressionsRoot)
+	if err != nil {
+		t.Fatalf("reading %s: %v", regressionsRoot, err)
+	}
+	if len(dirs) == 0 {
+		t.Fatalf("no regression packs under %s — the distilled suite is gone", regressionsRoot)
+	}
+	return dirs
+}
+
+// TestRegressions is the standing distilled-regression suite: every
+// committed pack is integrity-verified (manifest digests, recording
+// slices replayed to their pinned post-states) and its invariant is
+// re-asserted against current code.
+func TestRegressions(t *testing.T) {
+	for _, dir := range regressionDirs(t) {
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			if err := CheckRegression(dir, RegressOptions{}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestRegressionFailsBeforeFix proves the packs guard something: the
+// difftest pack distilled from the missed-mode-switch bug must FAIL
+// when that bug is re-seeded (simulating the pre-fix kernel) and pass
+// against current code — the fails-before, passes-after contract.
+func TestRegressionFailsBeforeFix(t *testing.T) {
+	found := false
+	for _, dir := range regressionDirs(t) {
+		r, err := ReadRegress(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Source != KindDifftest || r.Bug != "missed-mode-switch" {
+			continue
+		}
+		found = true
+		err = CheckRegression(dir, RegressOptions{Bugs: monolithic.BugSet{MissedModeSwitch: true}})
+		if err == nil || !strings.Contains(err.Error(), "REGRESSION") {
+			t.Fatalf("pack %s passed with the distilled bug re-seeded: %v", dir, err)
+		}
+		if err := CheckRegression(dir, RegressOptions{}); err != nil {
+			t.Fatalf("pack %s fails against current (fixed) code: %v", dir, err)
+		}
+	}
+	if !found {
+		t.Fatal("no committed missed-mode-switch regression pack found")
+	}
+}
+
+// TestCommittedPackContents pins the structural expectations of the
+// committed packs: the difftest pack bisected the bug to a concrete
+// field with clean-vs-buggy slices, the faultcamp pack pins its
+// scenario coordinates.
+func TestCommittedPackContents(t *testing.T) {
+	var diffSeen, campSeen bool
+	for _, dir := range regressionDirs(t) {
+		r, err := ReadRegress(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch r.Source {
+		case KindDifftest:
+			diffSeen = true
+			if r.Case == "" || r.Invariant != InvariantRowOK {
+				t.Fatalf("%s: malformed difftest regress: %+v", dir, r)
+			}
+			if r.Divergence == nil || r.Divergence.Field == "" {
+				t.Fatalf("%s: difftest regress carries no bisected divergence", dir)
+			}
+		case KindFaultcamp:
+			campSeen = true
+			if r.N == 0 || r.ScenarioLabel == "" || r.Invariant != InvariantNoViolations {
+				t.Fatalf("%s: malformed faultcamp regress: %+v", dir, r)
+			}
+		default:
+			t.Fatalf("%s: unknown source %q", dir, r.Source)
+		}
+	}
+	if !diffSeen || !campSeen {
+		t.Fatalf("committed suite must hold both a difftest and a faultcamp pack (difftest=%v faultcamp=%v)", diffSeen, campSeen)
+	}
+}
+
+// TestDistillCaseRoundTrip distills a fresh pack into a temp dir and
+// replays it immediately — the full distillation path under test, not
+// just the committed artifacts.
+func TestDistillCaseRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	dir, receipt, err := DistillCase(root, "mpu_walk_region", monolithic.BugSet{MissedModeSwitch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(receipt, `cmd="regress -case mpu_walk_region -bug missed-mode-switch"`) {
+		t.Fatalf("unexpected receipt: %s", receipt)
+	}
+	if err := CheckRegression(dir, RegressOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// The regress executor must re-derive the result byte-identically.
+	if err := Verify(dir, VerifyOptions{Rerun: true}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ReadRegress(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Compare != "clean-vs-buggy" || r.Divergence == nil || r.Divergence.Field != "cpu.control" {
+		t.Fatalf("distillation did not localize the mode-switch bug: %+v", r)
+	}
+}
+
+// TestSliceRecordingPreservesFinalState: a slice replayed to its end
+// reconstructs the exact state the full recording had at the slice
+// point — fields, memory image and cycle.
+func TestSliceRecordingPreservesFinalState(t *testing.T) {
+	tc, err := findCase("mpu_walk_region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := difftest.RunRecorded(tc, kernel.FlavourTickTock, difftest.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Snapshots) < 4 {
+		t.Fatalf("recording too short to slice: %d snapshots", len(rec.Snapshots))
+	}
+	for _, idx := range []int{0, 1, len(rec.Snapshots) / 2, len(rec.Snapshots) - 1} {
+		slice, err := sliceRecording(rec, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := rec.ReplayAt(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := slice.ReplayAt(len(slice.Snapshots) - 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if StateDigest(got) != StateDigest(want) {
+			t.Fatalf("slice at %d replays to digest %s, original state is %s", idx, StateDigest(got), StateDigest(want))
+		}
+		if len(slice.Snapshots) > 2 {
+			t.Fatalf("slice at %d kept %d snapshots, want <= 2", idx, len(slice.Snapshots))
+		}
+	}
+}

@@ -1,0 +1,337 @@
+// Package runpack gives every campaign, difftest and replay run a
+// verifiable provenance trail: a content-addressed artifact directory
+// whose manifest carries sha256 digests over everything the run
+// produced — TTFR flight recordings, the trace export, the metrics
+// snapshot, the seed/config and the result rows — plus a one-line
+// receipt holding the exact command that re-derives the result.
+//
+// The design mirrors what an auditable spec-to-binary pipeline needs:
+//
+//  1. Content addressing. The pack directory is named by the sha256 of
+//     its manifest, and the manifest digests every member file, so a
+//     pack cannot drift silently: `runpack verify` recomputes the whole
+//     chain and fails non-zero on a single flipped byte anywhere.
+//  2. Re-derivation. The simulated boards are deterministic, so the
+//     recording *is* the run. Verification replays every recorded
+//     timeline back to its final state and compares the re-derived
+//     state digest against the manifest; with -rerun it also executes
+//     the receipt's command in-process and compares the result bytes.
+//  3. Auto-distillation (distill.go). Any campaign violation or
+//     difftest divergence is bisected to its first divergent snapshot
+//     and distilled into a minimal standing regression — recording
+//     slice plus expected post-state — replayed by regress_test in CI,
+//     so bugs found at scale become permanent tests with zero human
+//     effort.
+//
+// Everything a pack contains is byte-deterministic: identical runs
+// produce identical directories with identical names.
+package runpack
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"ticktock/internal/flightrec"
+)
+
+// ManifestName and ReceiptName are the two reserved pack members. The
+// manifest digests every other member; the receipt names the manifest,
+// so it cannot itself be covered by it.
+const (
+	ManifestName = "MANIFEST.json"
+	ReceiptName  = "RECEIPT"
+)
+
+// SchemaVersion is the manifest schema. Bump on any field change.
+const SchemaVersion = 1
+
+// Kinds of runs a pack can capture.
+const (
+	KindFaultcamp = "faultcamp"
+	KindDifftest  = "difftest"
+	KindReplay    = "replay"
+)
+
+// ReplayDigest is the re-derivable part of a recording: decode the
+// .ttfr member, replay to the final snapshot, and these values must
+// come back. It is how `verify` proves the result still follows from
+// the recording, independent of the byte digest.
+type ReplayDigest struct {
+	Snapshots  int    `json:"snapshots"`
+	FinalCycle uint64 `json:"final_cycle"`
+	// StateDigest hashes the replayed final state: every field in
+	// capture order plus the reconstructed memory image.
+	StateDigest string `json:"state_digest"`
+}
+
+// FileEntry is one manifest-covered pack member.
+type FileEntry struct {
+	Name   string `json:"name"`
+	Size   int64  `json:"size"`
+	SHA256 string `json:"sha256"`
+	// Replay is set for .ttfr members: the expected outcome of
+	// re-deriving the final state from the recording.
+	Replay *ReplayDigest `json:"replay,omitempty"`
+}
+
+// Manifest is the pack's integrity root, serialized as canonical JSON.
+type Manifest struct {
+	Schema int    `json:"schema"`
+	Kind   string `json:"kind"`
+	// Command is the exact in-process replay command (also mirrored in
+	// the receipt): executing it must re-produce the result file byte
+	// for byte.
+	Command string `json:"command"`
+	// Result names the member holding the run's canonical result and
+	// its digest, duplicated here so the receipt can assert it without
+	// re-reading the member list.
+	Result       string      `json:"result"`
+	ResultSHA256 string      `json:"result_sha256"`
+	Config       any         `json:"config"`
+	Files        []FileEntry `json:"files"`
+}
+
+// StateDigest hashes a replayed state — the comparison target for
+// ReplayDigest.StateDigest. FNV-64a over the field list in capture
+// order and the memory digest, rendered as hex.
+func StateDigest(s *flightrec.State) string {
+	h := fnv.New64a()
+	for _, f := range s.Fields() {
+		fmt.Fprintf(h, "%s=%d;", f.Name, f.Val)
+	}
+	fmt.Fprintf(h, "mem=%d;cycle=%d", s.MemDigest(), s.Cycle)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// recordingDigest decodes nothing — it replays an in-memory recording
+// to its final snapshot and summarizes it.
+func recordingDigest(rec *flightrec.Recording) (*ReplayDigest, error) {
+	if len(rec.Snapshots) == 0 {
+		return &ReplayDigest{}, nil
+	}
+	s, err := rec.ReplayAt(len(rec.Snapshots) - 1)
+	if err != nil {
+		return nil, err
+	}
+	return &ReplayDigest{
+		Snapshots:   len(rec.Snapshots),
+		FinalCycle:  rec.FinalCycle(),
+		StateDigest: StateDigest(s),
+	}, nil
+}
+
+// sha256Hex digests a byte string.
+func sha256Hex(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Builder accumulates pack members in memory, then Seal writes the
+// content-addressed directory in one pass.
+type Builder struct {
+	kind    string
+	command string
+	config  any
+	result  string
+	files   map[string][]byte
+	replays map[string]*ReplayDigest
+	err     error
+}
+
+// NewBuilder starts a pack of the given kind. command is the exact
+// in-process replay command for the receipt; config is the run's full
+// configuration (marshalled into the manifest).
+func NewBuilder(kind, command string, config any) *Builder {
+	return &Builder{
+		kind:    kind,
+		command: command,
+		config:  config,
+		files:   make(map[string][]byte),
+		replays: make(map[string]*ReplayDigest),
+	}
+}
+
+// AddFile adds one member. Reserved names and duplicates are errors
+// (reported by Seal, so call sites can chain).
+func (b *Builder) AddFile(name string, data []byte) {
+	if b.err != nil {
+		return
+	}
+	if name == ManifestName || name == ReceiptName {
+		b.err = fmt.Errorf("runpack: member name %s is reserved", name)
+		return
+	}
+	if strings.Contains(name, "/") || strings.Contains(name, "..") {
+		b.err = fmt.Errorf("runpack: member name %q must be a plain file name", name)
+		return
+	}
+	if _, dup := b.files[name]; dup {
+		b.err = fmt.Errorf("runpack: duplicate member %s", name)
+		return
+	}
+	b.files[name] = data
+}
+
+// AddRecording encodes a flight recording as a .ttfr member and books
+// its replay digest into the manifest, so verify can re-derive the
+// final state.
+func (b *Builder) AddRecording(name string, rec *flightrec.Recording) {
+	if b.err != nil {
+		return
+	}
+	enc := &countingWriter{}
+	if err := rec.Encode(enc); err != nil {
+		b.err = fmt.Errorf("runpack: encoding %s: %w", name, err)
+		return
+	}
+	rd, err := recordingDigest(rec)
+	if err != nil {
+		b.err = fmt.Errorf("runpack: replaying %s: %w", name, err)
+		return
+	}
+	b.AddFile(name, enc.data)
+	if b.err == nil {
+		b.replays[name] = rd
+	}
+}
+
+// countingWriter buffers Encode output.
+type countingWriter struct{ data []byte }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.data = append(w.data, p...)
+	return len(p), nil
+}
+
+// SetResult marks an already-added member as the run's canonical
+// result.
+func (b *Builder) SetResult(name string) {
+	if b.err != nil {
+		return
+	}
+	if _, ok := b.files[name]; !ok {
+		b.err = fmt.Errorf("runpack: result member %s was never added", name)
+		return
+	}
+	b.result = name
+}
+
+// Seal writes the pack under root: members, canonical manifest and
+// receipt, in a directory named <kind>-<manifest sha256 prefix>. It
+// returns the pack directory and the receipt line. Identical content
+// seals to the identical directory (re-sealing is idempotent).
+func (b *Builder) Seal(root string) (dir string, receipt string, err error) {
+	if b.err != nil {
+		return "", "", b.err
+	}
+	if b.result == "" {
+		return "", "", fmt.Errorf("runpack: no result member set")
+	}
+	m := Manifest{
+		Schema:       SchemaVersion,
+		Kind:         b.kind,
+		Command:      b.command,
+		Result:       b.result,
+		ResultSHA256: sha256Hex(b.files[b.result]),
+		Config:       b.config,
+	}
+	names := make([]string, 0, len(b.files))
+	for name := range b.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		data := b.files[name]
+		m.Files = append(m.Files, FileEntry{
+			Name:   name,
+			Size:   int64(len(data)),
+			SHA256: sha256Hex(data),
+			Replay: b.replays[name],
+		})
+	}
+	manifest, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return "", "", err
+	}
+	manifest = append(manifest, '\n')
+	manifestSHA := sha256Hex(manifest)
+
+	dir = filepath.Join(root, fmt.Sprintf("%s-%s", b.kind, manifestSHA[:12]))
+	tmp := dir + ".tmp"
+	if err := os.RemoveAll(tmp); err != nil {
+		return "", "", err
+	}
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return "", "", err
+	}
+	for _, name := range names {
+		if err := os.WriteFile(filepath.Join(tmp, name), b.files[name], 0o644); err != nil {
+			return "", "", err
+		}
+	}
+	if err := os.WriteFile(filepath.Join(tmp, ManifestName), manifest, 0o644); err != nil {
+		return "", "", err
+	}
+	receipt = FormatReceipt(Receipt{
+		Kind:     b.kind,
+		Manifest: manifestSHA,
+		Result:   m.ResultSHA256,
+		Command:  b.command,
+	})
+	if err := os.WriteFile(filepath.Join(tmp, ReceiptName), []byte(receipt+"\n"), 0o644); err != nil {
+		return "", "", err
+	}
+	// Content addressing makes the rename race-free: same content, same
+	// name, same bytes.
+	if err := os.RemoveAll(dir); err != nil {
+		return "", "", err
+	}
+	if err := os.Rename(tmp, dir); err != nil {
+		return "", "", err
+	}
+	return dir, receipt, nil
+}
+
+// ReadManifest loads and parses a pack's manifest.
+func ReadManifest(dir string) (*Manifest, []byte, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, nil, fmt.Errorf("runpack: %s: %w", dir, err)
+	}
+	if m.Schema != SchemaVersion {
+		return nil, nil, fmt.Errorf("runpack: %s: manifest schema %d, want %d", dir, m.Schema, SchemaVersion)
+	}
+	return &m, raw, nil
+}
+
+// List returns the pack directories under root (directories holding a
+// MANIFEST.json), sorted by name.
+func List(root string) ([]string, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(root, e.Name())
+		if _, err := os.Stat(filepath.Join(dir, ManifestName)); err == nil {
+			out = append(out, dir)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
