@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench profile cover ablation faultcamp accessbench benchjson replaycheck runcheck
+.PHONY: ci fmt vet build test race bench profile cover ablation faultcamp accessbench benchjson replaycheck runcheck campaigncheck
 
 # ci is the gate the concurrency-touching paths (parallel difftest
 # campaign, goroutine-safe Stats, tracer, metrics registry) must keep
@@ -69,6 +69,21 @@ replaycheck:
 # scenario error. Same seed, same report, byte for byte.
 faultcamp:
 	$(GO) run ./cmd/faultcamp -n 500
+
+# campaigncheck proves the campaign supervisor's crash-resilience story
+# under the race detector — kill-and-resume determinism at varying
+# worker counts, terminal quarantine across resume, chaos-seeded
+# timeout/crash classification, supervised receipts, nested-backoff
+# additivity — then runs a chaos campaign whose quarantined scenarios
+# seal as bug-report packs (CI archives ./quarantine) and verifies the
+# sealed evidence including receipt re-derivation.
+campaigncheck:
+	$(GO) test -race -count=1 ./internal/campaign/
+	$(GO) test -race -count=1 -run 'Supervised|KillAndResume|Chaos|Quarantine|RecordRunsBothOrNeither|EmptyCampaign|NestedBackoff|CampaignObligations' \
+		./internal/faultinject/ ./internal/difftest/ ./internal/specs/ ./cmd/faultcamp/
+	rm -rf quarantine && mkdir -p quarantine
+	$(GO) run ./cmd/faultcamp -seed 7 -n 12 -chaos "wedge:2,panic:9" -timeout 2s -retries 1 -quarantine quarantine
+	$(GO) run ./cmd/runpack verify -rerun quarantine/*
 
 # runcheck exercises the artifact provenance chain end to end: emit a
 # small campaign pack, a difftest pack and a replay pack into ./runpacks,

@@ -11,7 +11,13 @@
 // Usage:
 //
 //	difftest [-v] [-j N] [-notrace] [-bug grant-overlap|brk-underflow|missed-mode-switch]
-//	         [-runpack DIR] [-distill DIR]
+//	         [-runpack DIR] [-distill DIR] [-timeout D] [-retries N]
+//
+// With -timeout or -retries the campaign runs under the crash-resilient
+// supervisor (internal/campaign): a wedged case is cancelled at the
+// wall-clock bound, a panicking case is recovered, failed cases are
+// retried up to the budget, and a case failing every attempt becomes an
+// errored row instead of taking the pool down.
 //
 // With -runpack DIR the campaign is sealed into a content-addressed
 // artifact pack under DIR (verify it with `runpack verify`). With
@@ -24,6 +30,7 @@ import (
 	"fmt"
 	"os"
 
+	"ticktock/internal/campaign"
 	"ticktock/internal/difftest"
 	"ticktock/internal/runpack"
 )
@@ -35,6 +42,8 @@ func main() {
 	bug := flag.String("bug", "", "re-enable a published baseline bug (grant-overlap, brk-underflow, missed-mode-switch)")
 	packDir := flag.String("runpack", "", "seal the campaign into a content-addressed artifact pack under DIR")
 	distillDir := flag.String("distill", "", "distill every unexpected divergence into a regression pack under DIR")
+	timeout := flag.Duration("timeout", 0, "per-case wall-clock timeout under the campaign supervisor (0 = unsupervised)")
+	retries := flag.Int("retries", 0, "retry budget per case under the campaign supervisor")
 	flag.Parse()
 
 	cfg := difftest.Config{Workers: *workers, NoTraceDump: *notrace, Metrics: *packDir != ""}
@@ -51,7 +60,17 @@ func main() {
 		os.Exit(2)
 	}
 
-	rows := difftest.RunAllConfig(cfg)
+	var rows []difftest.Row
+	if *timeout > 0 || *retries > 0 {
+		var err error
+		rows, _, err = difftest.RunAllSupervised(cfg, campaign.Config{Timeout: *timeout, Retries: *retries})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "difftest: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		rows = difftest.RunAllConfig(cfg)
+	}
 	fmt.Print(difftest.Table(rows))
 	if *packDir != "" {
 		dir, receipt, err := runpack.EmitDifftest(*packDir, cfg, rows)

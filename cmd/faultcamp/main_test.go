@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ticktock/internal/runpack"
+)
+
+// runCLI invokes the faultcamp entry point against buffers.
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestEmptyCampaignExitsDistinctly pins satellite fix 2: -n 0 used to
+// silently fall back to the 500-scenario default (withDefaults maps
+// N==0 to DefaultScenarios) and exit 0; now an empty campaign is a
+// distinct non-zero exit with a clear message, on a channel separate
+// from real failures (which exit 1).
+func TestEmptyCampaignExitsDistinctly(t *testing.T) {
+	for _, n := range []string{"0", "-3"} {
+		code, _, stderr := runCLI(t, "-n", n)
+		if code != 2 {
+			t.Fatalf("-n %s: exit %d, want 2", n, code)
+		}
+		if !strings.Contains(stderr, "empty campaign") {
+			t.Fatalf("-n %s: stderr %q lacks the empty-campaign message", n, stderr)
+		}
+	}
+}
+
+func TestSmallCampaignPasses(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-seed", "42", "-n", "6")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "fault-injection campaign: 6 scenarios") {
+		t.Fatalf("stdout:\n%s", stdout)
+	}
+}
+
+// TestKillAndResumeCLI drives the resumable manifest end to end through
+// the CLI: interrupt with -stop-after, resume with a different worker
+// count, and require the resumed report to be byte-identical to a
+// straight-through supervised run (and to print campaign_resumed_total
+// in the metrics exposition).
+func TestKillAndResumeCLI(t *testing.T) {
+	straightCode, straight, stderr := runCLI(t, "-seed", "42", "-n", "8", "-retries", "1")
+	if straightCode != 0 {
+		t.Fatalf("straight run exit %d, stderr:\n%s", straightCode, stderr)
+	}
+
+	journal := filepath.Join(t.TempDir(), "campaign.journal")
+	code, _, stderr := runCLI(t, "-seed", "42", "-n", "8", "-retries", "1",
+		"-workers", "2", "-resume", journal, "-stop-after", "3")
+	if code != 0 {
+		t.Fatalf("interrupted run exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "interrupted") || !strings.Contains(stderr, "-resume") {
+		t.Fatalf("interrupted run stderr lacks resume hint:\n%s", stderr)
+	}
+
+	code, resumed, stderr := runCLI(t, "-seed", "42", "-n", "8", "-retries", "1",
+		"-workers", "5", "-resume", journal, "-metrics")
+	if code != 0 {
+		t.Fatalf("resumed run exit %d, stderr:\n%s", code, stderr)
+	}
+	report, metricsPart, ok := strings.Cut(resumed, "\n\n# TYPE campaign_")
+	if !ok {
+		t.Fatalf("resumed output has no campaign_* metrics:\n%s", resumed)
+	}
+	if report+"\n" != straight {
+		t.Fatalf("resumed report differs from straight run\n got:\n%s\nwant:\n%s", report, straight)
+	}
+	// The resume restored at least the 3 checkpointed scenarios.
+	if strings.Contains(metricsPart, "resumed_total 0\n") || !strings.Contains(metricsPart, "resumed_total") {
+		t.Fatalf("metrics lack a non-zero campaign_resumed_total:\ncampaign_%s", metricsPart)
+	}
+}
+
+// TestChaosQuarantinePacks seeds a wedge and a panic into the campaign
+// machinery, and requires: exit 0 (quarantine never fails the
+// campaign), the supervision section in the report, and a sealed,
+// verifiable bug-report pack per quarantined scenario.
+func TestChaosQuarantinePacks(t *testing.T) {
+	qdir := t.TempDir()
+	code, stdout, stderr := runCLI(t, "-seed", "42", "-n", "6",
+		"-chaos", "wedge:1,panic:4", "-timeout", "500ms", "-retries", "1",
+		"-quarantine", qdir)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "quarantined=2") {
+		t.Fatalf("report lacks quarantine tally:\n%s", stdout)
+	}
+	packs, err := runpack.List(qdir)
+	if err != nil || len(packs) != 2 {
+		t.Fatalf("quarantine packs: %v %v", packs, err)
+	}
+	for _, dir := range packs {
+		if err := runpack.Verify(dir, runpack.VerifyOptions{Rerun: true}); err != nil {
+			t.Fatalf("verify %s: %v", dir, err)
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, "attempts.json"))
+		if err != nil || !strings.Contains(string(raw), "failure") {
+			t.Fatalf("attempts evidence in %s: %v", dir, err)
+		}
+	}
+}
+
+// TestSupervisedRunpackSealsAndVerifies seals a chaos campaign with
+// -runpack and requires the full chain — including the -rerun
+// re-derivation through the supervised receipt command — to verify.
+func TestSupervisedRunpackSealsAndVerifies(t *testing.T) {
+	root := t.TempDir()
+	code, _, stderr := runCLI(t, "-seed", "42", "-n", "6",
+		"-chaos", "panic:2", "-retries", "1", "-runpack", root)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	packs, err := runpack.List(root)
+	if err != nil || len(packs) != 1 {
+		t.Fatalf("packs: %v %v", packs, err)
+	}
+	if err := runpack.Verify(packs[0], runpack.VerifyOptions{Rerun: true}); err != nil {
+		t.Fatalf("verify -rerun: %v", err)
+	}
+	receipt, err := os.ReadFile(filepath.Join(packs[0], runpack.ReceiptName))
+	if err != nil || !strings.Contains(string(receipt), "-chaos") {
+		t.Fatalf("receipt should carry the chaos spec: %s (%v)", receipt, err)
+	}
+}

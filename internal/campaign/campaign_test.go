@@ -1,0 +1,253 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ticktock/internal/metrics"
+)
+
+// intSource builds a journal-capable source over n units where unit i
+// computes i*i, with an optional override per unit.
+func intSource(n int, override func(ctx context.Context, i int) (int, error)) Source[int] {
+	return Source[int]{
+		N:           n,
+		Kind:        "test",
+		Fingerprint: []byte(fmt.Sprintf("test-n%d", n)),
+		Key:         func(i int) string { return fmt.Sprintf("u%03d", i) },
+		Run: func(ctx context.Context, i int) (int, error) {
+			if override != nil {
+				return override(ctx, i)
+			}
+			return i * i, nil
+		},
+		Encode: func(v int) ([]byte, error) { return json.Marshal(v) },
+		Decode: func(b []byte) (v int, err error) { err = json.Unmarshal(b, &v); return },
+	}
+}
+
+func TestSuperviseCompletesByIndex(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		run, err := Supervise(Config{Workers: workers}, intSource(50, nil))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if run.Interrupted {
+			t.Fatalf("workers=%d: spuriously interrupted", workers)
+		}
+		for i, o := range run.Outcomes {
+			if o.Status != StatusOK || o.Result != i*i || o.Index != i {
+				t.Fatalf("workers=%d unit %d: status=%v result=%d", workers, i, o.Status, o.Result)
+			}
+		}
+		if run.Stats.Completed != 50 || run.Stats.Quarantined != 0 {
+			t.Fatalf("workers=%d: stats %+v", workers, run.Stats)
+		}
+	}
+}
+
+func TestSupervisePanicIsolation(t *testing.T) {
+	src := intSource(10, func(ctx context.Context, i int) (int, error) {
+		if i == 4 {
+			panic(fmt.Sprintf("chaos panic in unit %d", i))
+		}
+		return i * i, nil
+	})
+	run, err := Supervise(Config{Workers: 4, Retries: 2}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := run.Outcomes[4]
+	if o.Status != StatusQuarantined {
+		t.Fatalf("panicking unit not quarantined: %+v", o)
+	}
+	if len(o.Attempts) != 3 {
+		t.Fatalf("retry budget 2 should give 3 attempts, got %d", len(o.Attempts))
+	}
+	for _, a := range o.Attempts {
+		if a.Failure != FailCrashed || !strings.Contains(a.Err, "chaos panic in unit 4") {
+			t.Fatalf("attempt not classified crashed: %+v", a)
+		}
+		if !strings.Contains(a.Stack, "campaign") {
+			t.Fatalf("no stack attached: %q", a.Stack[:min(len(a.Stack), 80)])
+		}
+	}
+	if o.FinalFailure() != FailCrashed {
+		t.Fatalf("FinalFailure = %q", o.FinalFailure())
+	}
+	// The poison never aborts the rest of the campaign.
+	for i, o := range run.Outcomes {
+		if i != 4 && (o.Status != StatusOK || o.Result != i*i) {
+			t.Fatalf("unit %d poisoned by neighbour: %+v", i, o)
+		}
+	}
+	if run.Stats.Crashes != 3 || run.Stats.Quarantined != 1 || run.Stats.Retries != 2 {
+		t.Fatalf("stats %+v", run.Stats)
+	}
+}
+
+func TestSuperviseTimeout(t *testing.T) {
+	src := intSource(6, func(ctx context.Context, i int) (int, error) {
+		if i == 2 {
+			// Wedge until the supervisor cancels the attempt.
+			<-ctx.Done()
+			return 0, ctx.Err()
+		}
+		return i * i, nil
+	})
+	run, err := Supervise(Config{Workers: 2, Timeout: 20 * time.Millisecond, Retries: 1}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := run.Outcomes[2]
+	if o.Status != StatusQuarantined || o.FinalFailure() != FailTimeout {
+		t.Fatalf("wedged unit: %+v", o)
+	}
+	if len(o.Attempts) != 2 {
+		t.Fatalf("attempts = %d, want 2", len(o.Attempts))
+	}
+	if !strings.Contains(o.Attempts[0].Err, "u002") || !strings.Contains(o.Attempts[0].Err, "wall-clock") {
+		t.Fatalf("timeout error: %q", o.Attempts[0].Err)
+	}
+	for i, o := range run.Outcomes {
+		if i != 2 && o.Status != StatusOK {
+			t.Fatalf("unit %d stalled by the wedge: %+v", i, o)
+		}
+	}
+	if run.Stats.Timeouts != 2 {
+		t.Fatalf("stats %+v", run.Stats)
+	}
+}
+
+func TestSuperviseRetryThenSuccess(t *testing.T) {
+	var mu sync.Mutex
+	attempts := map[int]int{}
+	src := intSource(5, func(ctx context.Context, i int) (int, error) {
+		if i == 3 {
+			mu.Lock()
+			attempts[i]++
+			n := attempts[i]
+			mu.Unlock()
+			if n <= 2 {
+				return 0, fmt.Errorf("transient failure %d", n)
+			}
+		}
+		return i * i, nil
+	})
+	run, err := Supervise(Config{Workers: 2, Retries: 3}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := run.Outcomes[3]
+	if o.Status != StatusOK || o.Result != 9 {
+		t.Fatalf("flaky unit should succeed on retry: %+v", o)
+	}
+	if len(o.Attempts) != 2 || o.Attempts[0].Failure != FailError {
+		t.Fatalf("attempts: %+v", o.Attempts)
+	}
+	if run.Stats.Retries != 2 || run.Stats.Errors != 2 || run.Stats.Quarantined != 0 {
+		t.Fatalf("stats %+v", run.Stats)
+	}
+}
+
+func TestSuperviseBackoffGeometric(t *testing.T) {
+	clk := &FakeClock{}
+	src := intSource(1, func(ctx context.Context, i int) (int, error) {
+		return 0, fmt.Errorf("always fails")
+	})
+	base := 100 * time.Millisecond
+	run, err := Supervise(Config{Workers: 1, Retries: 3, BackoffBase: base, Clock: clk}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Outcomes[0].Status != StatusQuarantined || len(run.Outcomes[0].Attempts) != 4 {
+		t.Fatalf("outcome: %+v", run.Outcomes[0])
+	}
+	want := []time.Duration{base, 2 * base, 4 * base}
+	got := clk.Sleeps()
+	if len(got) != len(want) {
+		t.Fatalf("sleeps = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("retry %d backoff = %v, want %v (geometric base<<r)", i+1, got[i], want[i])
+		}
+	}
+}
+
+func TestSuperviseRetryBudgetExact(t *testing.T) {
+	for budget := 0; budget <= 3; budget++ {
+		var calls atomic.Int64
+		src := intSource(1, func(ctx context.Context, i int) (int, error) {
+			calls.Add(1)
+			return 0, fmt.Errorf("poison")
+		})
+		run, err := Supervise(Config{Workers: 1, Retries: budget}, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := calls.Load(); got != int64(budget)+1 {
+			t.Fatalf("budget %d: %d attempts, want %d", budget, got, budget+1)
+		}
+		if run.Outcomes[0].Status != StatusQuarantined {
+			t.Fatalf("budget %d: %+v", budget, run.Outcomes[0])
+		}
+		if run.Stats.Retries != uint64(budget) {
+			t.Fatalf("budget %d: retries %d", budget, run.Stats.Retries)
+		}
+	}
+}
+
+func TestSuperviseWorkStealing(t *testing.T) {
+	// Worker 0's contiguous shard is slow; the other workers drain
+	// their own shards instantly and must steal from its tail.
+	src := intSource(16, func(ctx context.Context, i int) (int, error) {
+		if i < 4 {
+			time.Sleep(30 * time.Millisecond)
+		}
+		return i * i, nil
+	})
+	run, err := Supervise(Config{Workers: 4}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Stats.Steals == 0 {
+		t.Fatal("no steals recorded despite an unbalanced shard")
+	}
+	for i, o := range run.Outcomes {
+		if o.Status != StatusOK || o.Result != i*i {
+			t.Fatalf("unit %d: %+v", i, o)
+		}
+	}
+}
+
+func TestStatsPublish(t *testing.T) {
+	st := Stats{
+		Units: 10, Completed: 8, Resumed: 2, Timeouts: 3, Crashes: 1,
+		Errors: 2, Retries: 4, Quarantined: 2, Steals: 5, Checkpoints: 2,
+	}
+	reg := metrics.NewRegistry()
+	st.Publish(reg)
+	for name, want := range map[string]uint64{
+		"campaign_units_total":       10,
+		"campaign_completed_total":   8,
+		"campaign_resumed_total":     2,
+		"campaign_timeouts_total":    3,
+		"campaign_crashes_total":     1,
+		"campaign_errors_total":      2,
+		"campaign_retries_total":     4,
+		"campaign_quarantined_total": 2,
+		"campaign_steals_total":      5,
+		"campaign_checkpoints_total": 2,
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package campaign
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts the supervisor's two wall-clock needs — retry backoff
+// sleeps and per-unit timeout timers — so the backoff policy can be
+// pinned by deterministic tests instead of timing assertions. The
+// kernel's restart backoff runs in *simulated* cycles and is invisible
+// here by construction: a kernel that parks a process for 2^40 cycles
+// costs the supervisor no wall-clock time, so nested backoffs cannot
+// multiply.
+type Clock interface {
+	// Sleep blocks for the backoff delay d.
+	Sleep(d time.Duration)
+	// After returns a channel that fires once d has elapsed — the
+	// per-unit timeout timer.
+	After(d time.Duration) <-chan time.Time
+}
+
+// realClock is the production clock.
+type realClock struct{}
+
+func (realClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// FakeClock is the deterministic test clock: Sleep returns immediately
+// and records the requested delay, After never fires (or fires
+// immediately when ExpireTimeouts is set). It makes backoff schedules
+// exact assertions rather than timing measurements.
+type FakeClock struct {
+	// ExpireTimeouts makes every After timer fire immediately, so a
+	// test can force the timeout path without waiting.
+	ExpireTimeouts bool
+
+	mu     sync.Mutex
+	sleeps []time.Duration
+}
+
+// Sleep records the delay and returns at once.
+func (c *FakeClock) Sleep(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sleeps = append(c.sleeps, d)
+}
+
+// After returns a timer channel that never fires, or an already-fired
+// one when ExpireTimeouts is set.
+func (c *FakeClock) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	if c.ExpireTimeouts {
+		ch <- time.Time{}
+	}
+	return ch
+}
+
+// Sleeps returns every recorded backoff delay, in request order.
+func (c *FakeClock) Sleeps() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]time.Duration, len(c.sleeps))
+	copy(out, c.sleeps)
+	return out
+}

@@ -15,12 +15,14 @@
 package difftest
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
 	"sync"
 
 	"ticktock/internal/apps"
+	"ticktock/internal/campaign"
 	"ticktock/internal/flightrec"
 	"ticktock/internal/kernel"
 	"ticktock/internal/metrics"
@@ -277,6 +279,58 @@ func RunAllConfig(cfg Config) []Row {
 	close(idx)
 	wg.Wait()
 	return rows
+}
+
+// RunAllSupervised executes the campaign under the crash-resilient
+// campaign supervisor: every case gets a wall-clock timeout, panic
+// isolation and a retry budget, and a case that fails every attempt is
+// quarantined into an errored row instead of wedging or crashing the
+// pool. Rows carry live registries, profiles and error values, so they
+// are not journal-serializable: supervision here is in-memory only and
+// sup.Journal must be empty (resumable manifests are the fault
+// campaign's feature).
+func RunAllSupervised(cfg Config, sup campaign.Config) ([]Row, *campaign.Run[Row], error) {
+	if sup.Journal != "" {
+		return nil, nil, fmt.Errorf("difftest: rows are not journal-serializable; supervised difftest runs cannot resume")
+	}
+	cases := apps.All()
+	if sup.Workers == 0 {
+		sup.Workers = cfg.Workers
+	}
+	src := campaign.Source[Row]{
+		N:    len(cases),
+		Kind: "difftest",
+		Key:  func(i int) string { return cases[i].Name },
+		Run: func(ctx context.Context, i int) (Row, error) {
+			row := RunCaseConfig(cases[i], cfg)
+			if row.Err != nil {
+				// Surface the infrastructure failure to the supervisor so
+				// a transient one is retried and a persistent one is
+				// quarantined rather than silently booked as a row error.
+				return Row{}, row.Err
+			}
+			return row, nil
+		},
+	}
+	run, err := campaign.Supervise(sup, src)
+	if err != nil {
+		return nil, run, err
+	}
+	rows := make([]Row, len(cases))
+	for i, o := range run.Outcomes {
+		switch o.Status {
+		case campaign.StatusOK:
+			rows[i] = o.Result
+		case campaign.StatusQuarantined:
+			rows[i] = Row{
+				Name:       cases[i].Name,
+				ExpectDiff: cases[i].ExpectDiff,
+				Err: fmt.Errorf("quarantined by the campaign supervisor: %s after %d attempts",
+					o.FinalFailure(), len(o.Attempts)),
+			}
+		}
+	}
+	return rows, run, nil
 }
 
 // MergeMetrics folds every row's per-flavour registries into one

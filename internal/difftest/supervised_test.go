@@ -1,0 +1,35 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+
+	"ticktock/internal/campaign"
+)
+
+// TestRunAllSupervisedMatchesPlain: with nothing for the supervisor to
+// do, the supervised campaign renders the exact table the plain pool
+// renders.
+func TestRunAllSupervisedMatchesPlain(t *testing.T) {
+	plain := RunAllConfig(Config{})
+	rows, run, err := RunAllSupervised(Config{}, campaign.Config{Retries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := Table(rows), Table(plain); got != want {
+		t.Fatalf("supervised table differs:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	if run.Stats.Quarantined != 0 || run.Stats.Completed != uint64(len(rows)) {
+		t.Fatalf("stats %+v", run.Stats)
+	}
+}
+
+// TestRunAllSupervisedRejectsJournal: difftest rows carry live error
+// values and registries, so supervised difftest runs must refuse a
+// resume journal instead of silently losing state.
+func TestRunAllSupervisedRejectsJournal(t *testing.T) {
+	_, _, err := RunAllSupervised(Config{}, campaign.Config{Journal: t.TempDir() + "/j"})
+	if err == nil || !strings.Contains(err.Error(), "not journal-serializable") {
+		t.Fatalf("journaled difftest should be rejected, got %v", err)
+	}
+}

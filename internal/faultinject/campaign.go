@@ -108,6 +108,11 @@ func RecordScenario(sc Scenario, cfg Config) (arm, rv *flightrec.Recording, err 
 // recording is the clean twin a campaign violation is bisected against
 // (runpack's auto-distillation). Same determinism contract as
 // RecordScenario.
+//
+// The contract is both-or-neither: a caller never receives one port's
+// recording alongside an error for the other (a half pair would seal
+// runpacks whose replay members silently cover only one port). Both
+// drivers always run; their failures are joined.
 func RecordRuns(sc Scenario, cfg Config, inject bool) (arm, rv *flightrec.Recording, err error) {
 	cfg = cfg.withDefaults()
 	armPort := "arm-ticktock"
@@ -115,13 +120,17 @@ func RecordRuns(sc Scenario, cfg Config, inject bool) (arm, rv *flightrec.Record
 		armPort = "arm-tock"
 	}
 	armRec := flightrec.NewRecorder(armPort)
-	if _, _, _, err := armRun(sc, cfg, inject, armRec); err != nil {
-		return nil, nil, fmt.Errorf("faultinject: recording %s: %w", armPort, err)
+	var armErr, rvErr error
+	if _, _, _, e := armRun(sc, cfg, inject, armRec); e != nil {
+		armErr = fmt.Errorf("faultinject: recording %s: %w", armPort, e)
 	}
 	chip := riscv.Chips[sc.Chip%len(riscv.Chips)]
 	rvRec := flightrec.NewRecorder("rv32-" + chip.Name)
-	if _, _, _, err := rvRun(sc, cfg, chip, inject, rvRec); err != nil {
-		return nil, nil, fmt.Errorf("faultinject: recording rv32-%s: %w", chip.Name, err)
+	if _, _, _, e := rvRun(sc, cfg, chip, inject, rvRec); e != nil {
+		rvErr = fmt.Errorf("faultinject: recording rv32-%s: %w", chip.Name, e)
+	}
+	if armErr != nil || rvErr != nil {
+		return nil, nil, errors.Join(armErr, rvErr)
 	}
 	return armRec.Finish(), rvRec.Finish(), nil
 }

@@ -144,6 +144,14 @@ type Config struct {
 	// replayed (cmd/faultcamp -replay). Recording observes the cycle
 	// meter but never charges it, so classifications are unchanged.
 	Record bool
+	// Chaos injects failures into the *campaign machinery itself* when
+	// the campaign runs supervised (RunSupervised): a spec like
+	// "wedge:3,panic:5,flaky:7" wedges scenario 3 until its timeout,
+	// panics inside scenario 5 and makes scenario 7 fail its first
+	// attempt. It exercises the supervisor's timeout, crash-recovery,
+	// retry and quarantine paths end to end; unsupervised Run ignores
+	// it. See ParseChaos.
+	Chaos string
 }
 
 // DefaultScenarios is the campaign size the acceptance bar asks for.
@@ -320,8 +328,10 @@ type PortResult struct {
 	Err string
 	// Replay holds the injected run's flight recording when
 	// Config.Record is set and the isolation sweep found violations —
-	// the time-travel handle for inspecting pre-violation state.
-	Replay *flightrec.Recording
+	// the time-travel handle for inspecting pre-violation state. It is
+	// excluded from the supervised campaign's journal payloads (the
+	// journal keeps the classified outcome, not the machine recording).
+	Replay *flightrec.Recording `json:"-"`
 }
 
 // Result pairs the two ports' outcomes for one scenario.
@@ -329,6 +339,12 @@ type Result struct {
 	Scenario Scenario
 	ARM      PortResult
 	RV       PortResult
+	// Sup marks a scenario the supervised campaign never completed:
+	// "quarantined (...)" for poison scenarios that exhausted their
+	// retry budget, "pending (interrupted)" for ones an interrupted
+	// campaign has not reached yet. Such results carry no port outcomes
+	// and are excluded from the port tallies.
+	Sup string `json:",omitempty"`
 }
 
 // Agree reports whether both ports classified the fault identically.
@@ -378,6 +394,40 @@ func (t Tally) Total() OutcomeCounts {
 	return sum
 }
 
+// Supervision aggregates what the campaign supervisor had to do:
+// attempt failures by class, retries spent, and the scenarios it gave
+// up on. Derived purely from terminal outcomes, so it is deterministic
+// at any worker count; invocation-local effects (steals, resume count)
+// live in campaign.Stats and go to metrics only.
+type Supervision struct {
+	// Timeouts, Crashes and Errors count failed *attempts* by class
+	// (one scenario retried twice books two failures).
+	Timeouts uint64
+	Crashes  uint64
+	Errors   uint64
+	// Retries counts re-run attempts granted after a failure.
+	Retries uint64
+	// Pending counts scenarios an interrupted campaign has not reached.
+	Pending uint64
+	// Quarantined lists the poison scenarios, sorted by label.
+	Quarantined []QuarantinedScenario
+}
+
+// QuarantinedScenario is one scenario that exhausted its retry budget.
+type QuarantinedScenario struct {
+	Label    string
+	Failure  string // campaign.FailTimeout, FailCrashed or FailError
+	Attempts int
+}
+
+// trivial reports whether the supervisor had nothing to report — the
+// condition under which the report renders byte-identically to an
+// unsupervised run.
+func (s *Supervision) trivial() bool {
+	return s.Timeouts == 0 && s.Crashes == 0 && s.Errors == 0 &&
+		s.Retries == 0 && s.Pending == 0 && len(s.Quarantined) == 0
+}
+
 // Report is the deterministic campaign result: same Config in, same
 // bytes out.
 type Report struct {
@@ -392,6 +442,11 @@ type Report struct {
 	Violations []string
 	// Divergent counts scenarios the two ports classified differently.
 	Divergent int
+	// Sup carries the supervised campaign's supervision summary; nil
+	// for unsupervised runs and for supervised runs where the
+	// supervisor had nothing to do, so clean campaigns render
+	// byte-identically either way.
+	Sup *Supervision
 }
 
 // tally builds the aggregate views from the per-scenario results.
@@ -401,6 +456,10 @@ func (r *Report) tally() {
 	r.Violations = nil
 	r.Divergent = 0
 	for _, res := range r.Results {
+		if res.Sup != "" {
+			// Quarantined or pending: no port outcomes to book.
+			continue
+		}
 		k := res.Scenario.Kind
 		r.ARM.PerKind[k].add(res.ARM.Outcome)
 		r.RV.PerKind[k].add(res.RV.Outcome)
@@ -440,13 +499,41 @@ func (r *Report) Text() string {
 		fmt.Fprintf(&b, "%-6s %-14s %9d %9d %7d %7d %8d   quarantined=%d errors=%d\n\n",
 			"", "total", c.Injected, c.Detected, c.Masked, c.Benign, c.Skipped, t.Quarantined, t.Errors)
 	}
+	completed := len(r.Results)
+	if r.Sup != nil {
+		completed -= len(r.Sup.Quarantined) + int(r.Sup.Pending)
+	}
 	fmt.Fprintf(&b, "cross-port: %d/%d scenarios classified identically, %d divergent\n",
-		len(r.Results)-r.Divergent, len(r.Results), r.Divergent)
+		completed-r.Divergent, completed, r.Divergent)
 	fmt.Fprintf(&b, "isolation violations: %d\n", len(r.Violations))
 	for _, v := range r.Violations {
 		fmt.Fprintf(&b, "  VIOLATION %s\n", v)
 	}
+	if r.Sup != nil {
+		fmt.Fprintf(&b, "supervision: timeouts=%d crashes=%d errors=%d retries=%d quarantined=%d pending=%d\n",
+			r.Sup.Timeouts, r.Sup.Crashes, r.Sup.Errors, r.Sup.Retries, len(r.Sup.Quarantined), r.Sup.Pending)
+		for _, q := range r.Sup.Quarantined {
+			fmt.Fprintf(&b, "  QUARANTINED %s: %s after %d attempts\n", q.Label, q.Failure, q.Attempts)
+		}
+	}
 	return b.String()
+}
+
+// Empty reports whether the campaign produced no evidence at all: no
+// scenarios, or every injection skipped on both ports with nothing
+// else to show (no errors, no violations, no supervision events). An
+// empty campaign passing is vacuous, so cmd/faultcamp exits distinctly
+// on it.
+func (r *Report) Empty() bool {
+	if len(r.Results) == 0 {
+		return true
+	}
+	if r.Sup != nil && !r.Sup.trivial() {
+		return false
+	}
+	arm, rv := r.ARM.Total(), r.RV.Total()
+	return arm.Injected == 0 && rv.Injected == 0 &&
+		r.ARM.Errors == 0 && r.RV.Errors == 0 && len(r.Violations) == 0
 }
 
 // Publish books the campaign tallies into a metrics registry as the

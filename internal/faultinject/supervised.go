@@ -1,0 +1,210 @@
+package faultinject
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"ticktock/internal/campaign"
+)
+
+// This file splits the campaign into supervised units and runs it under
+// internal/campaign: every scenario is one independently supervised
+// unit with a wall-clock timeout, panic isolation, retry with backoff
+// and poison quarantine, plus the resumable journal that makes an
+// interrupted campaign continue instead of restart.
+
+// SupervisedKind is the journal/quarantine kind label.
+const SupervisedKind = "faultcamp"
+
+// fingerprintView is the canonical config encoding bound into the
+// journal header: exactly the fields that determine scenario results.
+// Workers and Record are deliberately absent — they change scheduling
+// and observability, never results — so a journal resumes under any
+// worker count.
+type fingerprintView struct {
+	Seed        int64  `json:"seed"`
+	N           int    `json:"n"`
+	MaxRestarts int    `json:"max_restarts"`
+	Watchdog    int    `json:"watchdog"`
+	BackoffBase uint64 `json:"backoff_base"`
+	Chaos       string `json:"chaos,omitempty"`
+}
+
+// Fingerprint returns the canonical config bytes the journal digests.
+func (c Config) Fingerprint() []byte {
+	c = c.withDefaults()
+	out, err := json.Marshal(fingerprintView{
+		Seed: c.Seed, N: c.N, MaxRestarts: c.MaxRestarts,
+		Watchdog: c.Watchdog, BackoffBase: c.BackoffBase, Chaos: c.Chaos,
+	})
+	if err != nil {
+		panic(err) // fixed struct of scalars: cannot fail
+	}
+	return out
+}
+
+// Chaos modes for ParseChaos.
+const (
+	// ChaosWedge blocks the scenario until the supervisor's timeout
+	// cancels it — the wedged-emulator failure mode.
+	ChaosWedge = "wedge"
+	// ChaosPanic panics inside the scenario — the worker-crash failure
+	// mode.
+	ChaosPanic = "panic"
+	// ChaosFlaky fails the scenario's first attempt with a transient
+	// error, then runs it normally — the retry-then-succeed mode.
+	ChaosFlaky = "flaky"
+)
+
+// ParseChaos parses a chaos spec ("wedge:3,panic:5,flaky:7") into a
+// scenario-index -> mode map. The spec is the supervisor's test/ops
+// hook: it injects failures into the *campaign machinery* around real
+// scenario indices, exercising timeout classification, crash recovery,
+// retry budgets and poison quarantine end to end.
+func ParseChaos(spec string) (map[int]string, error) {
+	out := map[int]string{}
+	if spec == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		mode, idxs, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: chaos entry %q is not mode:index", part)
+		}
+		switch mode {
+		case ChaosWedge, ChaosPanic, ChaosFlaky:
+		default:
+			return nil, fmt.Errorf("faultinject: unknown chaos mode %q (want wedge, panic or flaky)", mode)
+		}
+		i, err := strconv.Atoi(idxs)
+		if err != nil || i < 0 {
+			return nil, fmt.Errorf("faultinject: chaos entry %q: bad scenario index", part)
+		}
+		if prev, dup := out[i]; dup {
+			return nil, fmt.Errorf("faultinject: scenario %d has two chaos modes (%s, %s)", i, prev, mode)
+		}
+		out[i] = mode
+	}
+	return out, nil
+}
+
+// Units splits the campaign into supervised units — one scenario per
+// unit, journal-codec'd as JSON — for campaign.Supervise.
+func Units(cfg Config) (campaign.Source[Result], error) {
+	cfg = cfg.withDefaults()
+	chaos, err := ParseChaos(cfg.Chaos)
+	if err != nil {
+		return campaign.Source[Result]{}, err
+	}
+	scenarios := GenScenarios(cfg)
+	var mu sync.Mutex
+	flakyFired := map[int]bool{}
+	return campaign.Source[Result]{
+		N:           len(scenarios),
+		Kind:        SupervisedKind,
+		Fingerprint: cfg.Fingerprint(),
+		Key:         func(i int) string { return scenarios[i].Label() },
+		Run: func(ctx context.Context, i int) (Result, error) {
+			switch chaos[i] {
+			case ChaosWedge:
+				// Hold the unit until the supervisor cancels it; the
+				// attempt is then classified as a timeout.
+				<-ctx.Done()
+				return Result{}, fmt.Errorf("chaos: scenario %d wedged until cancellation: %w", i, ctx.Err())
+			case ChaosPanic:
+				panic(fmt.Sprintf("chaos: scenario %d panicked", i))
+			case ChaosFlaky:
+				mu.Lock()
+				fired := flakyFired[i]
+				flakyFired[i] = true
+				mu.Unlock()
+				if !fired {
+					return Result{}, fmt.Errorf("chaos: scenario %d transient failure", i)
+				}
+			}
+			return RunScenario(scenarios[i], cfg), nil
+		},
+		Encode: func(r Result) ([]byte, error) { return json.Marshal(r) },
+		Decode: func(b []byte) (Result, error) {
+			var r Result
+			err := json.Unmarshal(b, &r)
+			return r, err
+		},
+	}, nil
+}
+
+// RunSupervised executes the campaign under the crash-resilient
+// supervisor and folds the outcomes back into a Report. The report's
+// aggregates are derived from terminal outcomes only, so they are
+// byte-identical at any worker count and across interrupt/resume; the
+// invocation-local stats (steals, resume count) live in run.Stats and
+// go to metrics, never into the report.
+func RunSupervised(cfg Config, sup campaign.Config) (*Report, *campaign.Run[Result], error) {
+	cfg = cfg.withDefaults()
+	src, err := Units(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if sup.Workers == 0 {
+		sup.Workers = cfg.Workers
+	}
+	run, err := campaign.Supervise(sup, src)
+	if err != nil {
+		return nil, run, err
+	}
+	return ReportFromRun(cfg, run), run, nil
+}
+
+// ReportFromRun folds supervised outcomes into the campaign report.
+// Quarantined and pending scenarios carry a Sup marker instead of port
+// results and are excluded from the port tallies; the Supervision
+// section tallies them deterministically.
+func ReportFromRun(cfg Config, run *campaign.Run[Result]) *Report {
+	cfg = cfg.withDefaults()
+	scenarios := GenScenarios(cfg)
+	results := make([]Result, len(run.Outcomes))
+	sup := &Supervision{}
+	for i, o := range run.Outcomes {
+		for _, a := range o.Attempts {
+			switch a.Failure {
+			case campaign.FailTimeout:
+				sup.Timeouts++
+			case campaign.FailCrashed:
+				sup.Crashes++
+			case campaign.FailError:
+				sup.Errors++
+			}
+		}
+		switch o.Status {
+		case campaign.StatusOK:
+			results[i] = o.Result
+			sup.Retries += uint64(len(o.Attempts))
+		case campaign.StatusQuarantined:
+			results[i] = Result{
+				Scenario: scenarios[i],
+				Sup:      fmt.Sprintf("quarantined (%s after %d attempts)", o.FinalFailure(), len(o.Attempts)),
+			}
+			sup.Retries += uint64(len(o.Attempts) - 1)
+			sup.Quarantined = append(sup.Quarantined, QuarantinedScenario{
+				Label:    scenarios[i].Label(),
+				Failure:  o.FinalFailure(),
+				Attempts: len(o.Attempts),
+			})
+		case campaign.StatusPending:
+			results[i] = Result{Scenario: scenarios[i], Sup: "pending (interrupted)"}
+			sup.Pending++
+		}
+	}
+	sort.Slice(sup.Quarantined, func(a, b int) bool { return sup.Quarantined[a].Label < sup.Quarantined[b].Label })
+	rep := &Report{Config: cfg, Results: results}
+	if !sup.trivial() {
+		rep.Sup = sup
+	}
+	rep.tally()
+	return rep
+}

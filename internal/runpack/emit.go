@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"ticktock/internal/campaign"
 	"ticktock/internal/difftest"
 	"ticktock/internal/faultinject"
 	"ticktock/internal/flightrec"
@@ -44,6 +45,7 @@ type faultcampConfig struct {
 	MaxRestarts int    `json:"max_restarts"`
 	Watchdog    int    `json:"watchdog"`
 	BackoffBase uint64 `json:"backoff_base"`
+	Chaos       string `json:"chaos,omitempty"`
 }
 
 // EmitFaultcamp seals a campaign run into a content-addressed pack
@@ -53,10 +55,29 @@ type faultcampConfig struct {
 // re-derives), and the flight recording of every violating run. The
 // receipt's command re-runs the campaign in-process.
 func EmitFaultcamp(root string, rep *faultinject.Report) (dir, receipt string, err error) {
+	return emitFaultcamp(root, rep, FaultcampCommand(rep.Config))
+}
+
+// EmitFaultcampSupervised seals a supervised campaign run. A clean
+// supervised report (no supervision section) is byte-identical to an
+// unsupervised one, so it keeps the plain faultcamp command and seals
+// to the identical pack; a report with supervision evidence gets the
+// supervised command, whose chaos/retry/timeout flags re-derive the
+// supervision section exactly.
+func EmitFaultcampSupervised(root string, rep *faultinject.Report, sup campaign.Config) (dir, receipt string, err error) {
+	cmd := FaultcampCommand(rep.Config)
+	if rep.Sup != nil {
+		cmd = FaultcampSupervisedCommand(rep.Config, sup)
+	}
+	return emitFaultcamp(root, rep, cmd)
+}
+
+func emitFaultcamp(root string, rep *faultinject.Report, cmd string) (dir, receipt string, err error) {
 	cfg := rep.Config
-	b := NewBuilder(KindFaultcamp, FaultcampCommand(cfg), faultcampConfig{
+	b := NewBuilder(KindFaultcamp, cmd, faultcampConfig{
 		Seed: cfg.Seed, N: cfg.N,
 		MaxRestarts: cfg.MaxRestarts, Watchdog: cfg.Watchdog, BackoffBase: cfg.BackoffBase,
+		Chaos: cfg.Chaos,
 	})
 	b.AddFile("result.txt", []byte(rep.Text()))
 	b.SetResult("result.txt")

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"ticktock/internal/apps"
+	"ticktock/internal/campaign"
 	"ticktock/internal/difftest"
 	"ticktock/internal/faultinject"
 	"ticktock/internal/kernel"
@@ -203,16 +205,54 @@ func FaultcampCommand(cfg faultinject.Config) string {
 	return fmt.Sprintf("faultcamp -seed %d -n %d", cfg.Seed, cfg.N)
 }
 
+// FaultcampSupervisedCommand renders the receipt command for a
+// supervised campaign whose report carries a supervision section: the
+// chaos spec, retry budget and timeout are part of what re-derives the
+// result bytes, so they belong in the command.
+func FaultcampSupervisedCommand(cfg faultinject.Config, sup campaign.Config) string {
+	cmd := FaultcampCommand(cfg)
+	if cfg.Chaos != "" {
+		cmd += fmt.Sprintf(" -chaos %q", cfg.Chaos)
+	}
+	if sup.Retries > 0 {
+		cmd += fmt.Sprintf(" -retries %d", sup.Retries)
+	}
+	if sup.Timeout > 0 {
+		cmd += fmt.Sprintf(" -timeout %s", sup.Timeout)
+	}
+	return cmd
+}
+
 func executeFaultcamp(args []string) ([]byte, error) {
 	var cfg faultinject.Config
+	var sup campaign.Config
+	supervised := false
 	if err := parseFlags(args, map[string]func(string) error{
-		"-seed": func(v string) (err error) { cfg.Seed, err = strconv.ParseInt(v, 10, 64); return },
-		"-n":    func(v string) (err error) { cfg.N, err = strconv.Atoi(v); return },
+		"-seed":  func(v string) (err error) { cfg.Seed, err = strconv.ParseInt(v, 10, 64); return },
+		"-n":     func(v string) (err error) { cfg.N, err = strconv.Atoi(v); return },
+		"-chaos": func(v string) error { cfg.Chaos = v; supervised = true; return nil },
+		"-retries": func(v string) (err error) {
+			sup.Retries, err = strconv.Atoi(v)
+			supervised = true
+			return
+		},
+		"-timeout": func(v string) (err error) {
+			sup.Timeout, err = time.ParseDuration(v)
+			supervised = true
+			return
+		},
 	}); err != nil {
 		return nil, err
 	}
 	if cfg.N == 0 {
 		return nil, fmt.Errorf("runpack: faultcamp command needs -n")
+	}
+	if supervised {
+		rep, _, err := faultinject.RunSupervised(cfg, sup)
+		if err != nil {
+			return nil, err
+		}
+		return []byte(rep.Text()), nil
 	}
 	rep := faultinject.Run(cfg)
 	return []byte(rep.Text()), nil

@@ -1,0 +1,46 @@
+package specs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCampaignObligationsHold(t *testing.T) {
+	rep := BuildCampaign(QuickScale).Run()
+	for _, f := range rep.Failed() {
+		t.Errorf("%s: %v", f.Spec.Name, f.Violations[0])
+	}
+}
+
+// TestNestedBackoffDoesNotMultiply is the focused form of the
+// campaign/nested_backoff_additive obligation: a crasher process whose
+// kernel parks it for ever-larger simulated-cycle backoffs runs as a
+// supervised campaign unit, and the supervisor's wall-clock backoff
+// schedule — on a deterministic clock — must not change by a single
+// sleep. The two backoff layers live in different time domains and
+// compose additively in attempts, never multiplicatively in waits.
+func TestNestedBackoffDoesNotMultiply(t *testing.T) {
+	const supBase = 10 * time.Millisecond
+	var prev []time.Duration
+	for _, kernelBase := range []uint64{128, 4096, 1 << 20} {
+		delays, sleeps, err := nestedBackoffProbe(kernelBase, supBase)
+		if err != nil {
+			t.Fatalf("kernelBase=%d: %v", kernelBase, err)
+		}
+		if len(delays) != 3 {
+			t.Fatalf("kernelBase=%d: %d kernel backoff events, want 3", kernelBase, len(delays))
+		}
+		for i, d := range delays {
+			if want := kernelBase << uint(i); d != want {
+				t.Fatalf("kernelBase=%d: kernel delay[%d]=%d want %d", kernelBase, i, d, want)
+			}
+		}
+		if len(sleeps) != 1 || sleeps[0] != supBase {
+			t.Fatalf("kernelBase=%d: supervisor sleeps %v, want exactly [%v]", kernelBase, sleeps, supBase)
+		}
+		if prev != nil && sleeps[0] != prev[0] {
+			t.Fatalf("supervisor schedule moved with kernel backoff magnitude: %v vs %v", prev, sleeps)
+		}
+		prev = sleeps
+	}
+}
