@@ -12,6 +12,12 @@
 //
 //	difftest [-v] [-j N] [-notrace] [-bug grant-overlap|brk-underflow|missed-mode-switch]
 //	         [-runpack DIR] [-distill DIR] [-timeout D] [-retries N]
+//	difftest -cores [-j N]
+//
+// With -cores the campaign diffs emulator cores instead of kernel
+// flavours: every release test runs on both flavours under the trusted
+// byte-scan oracle core and the block-cache fast core (docs/SPEED.md),
+// and any divergence is a bug — exit 1 on the first non-ok row.
 //
 // With -timeout or -retries the campaign runs under the crash-resilient
 // supervisor (internal/campaign): a wedged case is cancelled at the
@@ -44,7 +50,19 @@ func main() {
 	distillDir := flag.String("distill", "", "distill every unexpected divergence into a regression pack under DIR")
 	timeout := flag.Duration("timeout", 0, "per-case wall-clock timeout under the campaign supervisor (0 = unsupervised)")
 	retries := flag.Int("retries", 0, "retry budget per case under the campaign supervisor")
+	cores := flag.Bool("cores", false, "diff the block-cache fast core against the byte-scan oracle core instead of kernel flavours")
 	flag.Parse()
+
+	if *cores {
+		rows := difftest.RunCoreOracle(*workers)
+		fmt.Print(difftest.CoreOracleTable(rows))
+		for _, r := range rows {
+			if !r.OK() {
+				os.Exit(1)
+			}
+		}
+		return
+	}
 
 	cfg := difftest.Config{Workers: *workers, NoTraceDump: *notrace, Metrics: *packDir != ""}
 	switch *bug {

@@ -130,6 +130,22 @@ func (m *Map) AllAllowed(start, length uint32, kind mpu.AccessKind, privileged b
 	return i < len(iv) && iv[i].Start <= s && e <= iv[i].End
 }
 
+// Lookup returns the maximal allow interval containing addr for the
+// given kind and privilege, or ok=false when addr is not allowed at all.
+// Because intervals are maximal and disjoint, the returned interval is
+// the exact span over which a cached "allowed" decision for addr stays
+// valid while the configuration does not change — the contract the
+// block-cache fast paths rely on. O(log intervals).
+func (m *Map) Lookup(addr uint32, kind mpu.AccessKind, privileged bool) (Interval, bool) {
+	iv := m.allowed[slotOf(kind, privileged)]
+	a := uint64(addr)
+	i := find(iv, a)
+	if i < len(iv) && iv[i].Start <= a {
+		return iv[i], true
+	}
+	return Interval{}, false
+}
+
 // AnyAllowed reports whether at least one byte of [start, start+length)
 // admits an access of the given kind at the given privilege. Bytes past
 // the top of the address space do not exist and are ignored; zero length

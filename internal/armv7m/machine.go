@@ -111,6 +111,11 @@ type Machine struct {
 
 	progs []*Program // sorted by base
 
+	// fast, when non-nil, enables the block-cache fast core: Run
+	// dispatches through predecoded basic blocks and checkAccess uses
+	// interval hints. Step stays the byte-scan oracle either way.
+	fast *fastState
+
 	pcWritten bool
 	isbSeen   bool
 
@@ -164,15 +169,31 @@ func (m *Machine) LoadProgram(p *Program) error {
 	}
 	m.progs = append(m.progs, p)
 	sort.Slice(m.progs, func(i, j int) bool { return m.progs[i].Base < m.progs[j].Base })
+	if m.fast != nil {
+		m.fast.table.Flush()
+	}
 	return nil
 }
 
-// fetch returns the instruction at addr after an MPU execute check.
+// progAt returns the loaded program containing addr, or nil. Programs are
+// base-sorted and non-overlapping, so their End values are sorted too and
+// a single binary search finds the only candidate.
+func (m *Machine) progAt(addr uint32) *Program {
+	i := sort.Search(len(m.progs), func(i int) bool { return m.progs[i].End() > addr })
+	if i < len(m.progs) && addr >= m.progs[i].Base {
+		return m.progs[i]
+	}
+	return nil
+}
+
+// fetch returns the instruction at addr after an MPU execute check. The
+// check covers the instruction's first byte, like a real fetch of the
+// first halfword.
 func (m *Machine) fetch(addr uint32) (Instr, error) {
 	if err := m.MPU.Check(addr, mpu.AccessExecute, m.CPU.Privileged()); err != nil {
 		return nil, err
 	}
-	for _, p := range m.progs {
+	if p := m.progAt(addr); p != nil {
 		if in := p.At(addr); in != nil {
 			return in, nil
 		}
@@ -188,8 +209,24 @@ func (m *Machine) writePC(v uint32) {
 }
 
 // checkAccess runs the MPU check for a data access at the current
-// privilege level.
+// privilege level. With the fast core enabled it first consults the
+// last-hit accessmap interval hint; only the success case is ever
+// short-circuited, so denials reach the hardware Check and produce
+// byte-identical ProtectionError values. Like the oracle path, the check
+// covers the access's first byte.
 func (m *Machine) checkAccess(addr uint32, kind mpu.AccessKind) error {
+	if f := m.fast; f != nil {
+		priv := m.CPU.Privileged()
+		stamp := m.MPU.FastStamp()
+		if f.hints.Allows(addr, 1, kind, priv, stamp) {
+			f.table.Stats.HintHits++
+			return nil
+		}
+		f.table.Stats.HintMisses++
+		if f.hints.Update(addr, 1, kind, priv, stamp, m.MPU.AccessMap()) {
+			return nil
+		}
+	}
 	return m.MPU.Check(addr, kind, m.CPU.Privileged())
 }
 
@@ -385,27 +422,35 @@ func (m *Machine) Step() (*Stop, error) {
 	m.Meter.Add(cost)
 	m.Tick.Advance(cost)
 	if execErr != nil {
-		var svc *svcTrap
-		if errors.As(execErr, &svc) {
-			// SVC: PC must advance past the SVC instruction before
-			// stacking so the return address is the next instruction.
-			m.CPU.PC += 4
-			if err := m.TakeException(ExcSVCall); err != nil {
-				return nil, err
-			}
-			return &Stop{Reason: StopSyscall, SVCNum: svc.imm}, nil
-		}
-		var wfi *wfiTrap
-		if errors.As(execErr, &wfi) {
-			m.CPU.PC += 4
-			return &Stop{Reason: StopIdle}, nil
-		}
-		return m.faultStop(execErr)
+		return m.execStop(execErr)
 	}
 	if !m.pcWritten {
 		m.CPU.PC += 4
 	}
 	return nil, nil
+}
+
+// execStop maps a trap error returned by Exec to its exception entry and
+// Stop. Shared by the oracle Step and the fast-core dispatch loop so
+// both produce identical architectural effects. The caller must already
+// have charged the instruction's cost to the meter and timer.
+func (m *Machine) execStop(execErr error) (*Stop, error) {
+	var svc *svcTrap
+	if errors.As(execErr, &svc) {
+		// SVC: PC must advance past the SVC instruction before
+		// stacking so the return address is the next instruction.
+		m.CPU.PC += 4
+		if err := m.TakeException(ExcSVCall); err != nil {
+			return nil, err
+		}
+		return &Stop{Reason: StopSyscall, SVCNum: svc.imm}, nil
+	}
+	var wfi *wfiTrap
+	if errors.As(execErr, &wfi) {
+		m.CPU.PC += 4
+		return &Stop{Reason: StopIdle}, nil
+	}
+	return m.faultStop(execErr)
 }
 
 // faultStop takes the appropriate fault exception for err and reports the
@@ -432,6 +477,9 @@ func (m *Machine) faultStop(cause error) (*Stop, error) {
 // exhausted. A budget of 0 means unlimited (bounded only by exceptions),
 // which callers should use with care.
 func (m *Machine) Run(budget uint64) (*Stop, error) {
+	if m.fast != nil {
+		return m.runFast(budget)
+	}
 	start := m.Meter.Cycles()
 	for {
 		stop, err := m.Step()

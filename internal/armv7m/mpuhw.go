@@ -223,6 +223,22 @@ func (h *MPUHardware) FlipBits(number int, rbarXor, rasrXor uint32) {
 // the register state can detect staleness.
 func (h *MPUHardware) Generation() uint64 { return h.gen }
 
+// FastStamp folds the generation counter with the control bits that also
+// key the cached access map (CtrlEnable and PrivDefEna are exported bools
+// mutated without a gen bump). Equal stamps imply an identical effective
+// configuration, so block-cache entries keyed on the stamp stay sound
+// even when a control bit is toggled away and back.
+func (h *MPUHardware) FastStamp() uint64 {
+	s := h.gen << 2
+	if h.CtrlEnable {
+		s |= 2
+	}
+	if h.PrivDefEna {
+		s |= 1
+	}
+	return s
+}
+
 // Region returns the raw register pair for region number.
 func (h *MPUHardware) Region(number int) (rbar, rasr uint32) {
 	return h.rbar[number], h.rasr[number]

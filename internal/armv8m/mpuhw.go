@@ -158,6 +158,20 @@ func (h *MPUHardware) ClearRegion(number int) error {
 // every register mutation so cached derivations can detect staleness.
 func (h *MPUHardware) Generation() uint64 { return h.gen }
 
+// FastStamp folds the generation counter with the CtrlEnable/PrivDefEna
+// control bits, which key the cached access map but are mutated without a
+// gen bump. Equal stamps imply an identical effective configuration.
+func (h *MPUHardware) FastStamp() uint64 {
+	s := h.gen << 2
+	if h.CtrlEnable {
+		s |= 2
+	}
+	if h.PrivDefEna {
+		s |= 1
+	}
+	return s
+}
+
 // Region returns the raw register pair.
 func (h *MPUHardware) Region(number int) (rbar, rlar uint32) {
 	return h.rbar[number], h.rlar[number]

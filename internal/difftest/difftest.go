@@ -53,6 +53,10 @@ type Config struct {
 	// MergeProfiles. Metrics never charge simulated cycles, so a
 	// metered campaign produces byte-identical console outputs.
 	Metrics bool
+	// FastCore runs every kernel on the block-cache fast core instead
+	// of the byte-scan oracle core. Outputs must be byte-identical
+	// either way; RunCoreOracle checks exactly that.
+	FastCore bool
 }
 
 // Row is one line of the campaign table.
@@ -94,8 +98,8 @@ func (r Row) OK() bool { return r.Err == nil && r.Equal != r.ExpectDiff }
 // runOn executes the case on one kernel flavour, optionally under a
 // tracer, and returns the kernel plus the combined output and final
 // states.
-func runOn(tc apps.TestCase, fl kernel.Flavour, bugs monolithic.BugSet, tr *trace.Tracer, reg *metrics.Registry, rec *flightrec.Recorder) (*kernel.Kernel, string, string, error) {
-	k, err := kernel.New(kernel.Options{Flavour: fl, Bugs: bugs, Trace: tr, Metrics: reg, FlightRec: rec})
+func runOn(tc apps.TestCase, fl kernel.Flavour, bugs monolithic.BugSet, tr *trace.Tracer, reg *metrics.Registry, rec *flightrec.Recorder, fast bool) (*kernel.Kernel, string, string, error) {
+	k, err := kernel.New(kernel.Options{Flavour: fl, Bugs: bugs, Trace: tr, Metrics: reg, FlightRec: rec, FastCore: fast})
 	if err != nil {
 		return nil, "", "", err
 	}
@@ -128,7 +132,7 @@ func runOn(tc apps.TestCase, fl kernel.Flavour, bugs monolithic.BugSet, tr *trac
 // tracetab CLI and the trace-accounting checks.
 func RunTraced(tc apps.TestCase, fl kernel.Flavour, capacity int) (*kernel.Kernel, *trace.Tracer, error) {
 	tr := trace.New(capacity)
-	k, _, _, err := runOn(tc, fl, monolithic.BugSet{}, tr, nil, nil)
+	k, _, _, err := runOn(tc, fl, monolithic.BugSet{}, tr, nil, nil, false)
 	return k, tr, err
 }
 
@@ -140,7 +144,7 @@ func RunTraced(tc apps.TestCase, fl kernel.Flavour, capacity int) (*kernel.Kerne
 func RunRecorded(tc apps.TestCase, fl kernel.Flavour, cfg Config) (*kernel.Kernel, *flightrec.Recording, error) {
 	tr := trace.New(cfg.TraceCapacity)
 	rec := flightrec.NewRecorder(fl.String())
-	k, _, _, err := runOn(tc, fl, cfg.Bugs, tr, nil, rec)
+	k, _, _, err := runOn(tc, fl, cfg.Bugs, tr, nil, rec, cfg.FastCore)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -153,7 +157,7 @@ func RunRecorded(tc apps.TestCase, fl kernel.Flavour, cfg Config) (*kernel.Kerne
 // k.Profile().
 func RunMeasured(tc apps.TestCase, fl kernel.Flavour) (*kernel.Kernel, *metrics.Registry, error) {
 	reg := metrics.NewRegistry()
-	k, _, _, err := runOn(tc, fl, monolithic.BugSet{}, nil, reg, nil)
+	k, _, _, err := runOn(tc, fl, monolithic.BugSet{}, nil, reg, nil, false)
 	return k, reg, err
 }
 
@@ -169,12 +173,12 @@ func RunCaseConfig(tc apps.TestCase, cfg Config) Row {
 	if cfg.Metrics {
 		ttReg, tkReg = metrics.NewRegistry(), metrics.NewRegistry()
 	}
-	ttK, tt, ttStates, err := runOn(tc, kernel.FlavourTickTock, cfg.Bugs, nil, ttReg, nil)
+	ttK, tt, ttStates, err := runOn(tc, kernel.FlavourTickTock, cfg.Bugs, nil, ttReg, nil, cfg.FastCore)
 	if err != nil {
 		row.Err = err
 		return row
 	}
-	tkK, tk, tkStates, err := runOn(tc, kernel.FlavourTock, cfg.Bugs, nil, tkReg, nil)
+	tkK, tk, tkStates, err := runOn(tc, kernel.FlavourTock, cfg.Bugs, nil, tkReg, nil, cfg.FastCore)
 	if err != nil {
 		row.Err = err
 		return row
@@ -236,8 +240,8 @@ func bisectDivergence(tc apps.TestCase, cfg Config) (*flightrec.Divergence, stri
 func divergenceDump(tc apps.TestCase, cfg Config) string {
 	ttTr := trace.New(cfg.TraceCapacity)
 	tkTr := trace.New(cfg.TraceCapacity)
-	_, _, _, ttErr := runOn(tc, kernel.FlavourTickTock, cfg.Bugs, ttTr, nil, nil)
-	_, _, _, tkErr := runOn(tc, kernel.FlavourTock, cfg.Bugs, tkTr, nil, nil)
+	_, _, _, ttErr := runOn(tc, kernel.FlavourTickTock, cfg.Bugs, ttTr, nil, nil, cfg.FastCore)
+	_, _, _, tkErr := runOn(tc, kernel.FlavourTock, cfg.Bugs, tkTr, nil, nil, cfg.FastCore)
 	var b strings.Builder
 	if ttErr != nil || tkErr != nil {
 		fmt.Fprintf(&b, "trace re-run errors: ticktock=%v tock=%v\n", ttErr, tkErr)

@@ -21,7 +21,7 @@ func TestMetricsTracerAndKernelCountersAgree(t *testing.T) {
 		for _, tc := range apps.All() {
 			reg := metrics.NewRegistry()
 			tr := trace.New(1 << 17)
-			k, _, _, err := runOn(tc, fl, monolithic.BugSet{}, tr, reg, nil)
+			k, _, _, err := runOn(tc, fl, monolithic.BugSet{}, tr, reg, nil, false)
 			if err != nil {
 				t.Fatalf("%s on %s: %v", tc.Name, fl, err)
 			}
@@ -94,7 +94,7 @@ func TestCampaignProfileInvariant(t *testing.T) {
 // meter, the switch count or the console output of any case.
 func TestMeteredRunCyclesMatchUnmetered(t *testing.T) {
 	for _, tc := range apps.All() {
-		plainK, plainOut, _, err := runOn(tc, kernel.FlavourTickTock, monolithic.BugSet{}, nil, nil, nil)
+		plainK, plainOut, _, err := runOn(tc, kernel.FlavourTickTock, monolithic.BugSet{}, nil, nil, nil, false)
 		if err != nil {
 			t.Fatal(err)
 		}

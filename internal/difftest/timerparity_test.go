@@ -1,0 +1,162 @@
+package difftest
+
+// Satellite regression for the cross-port timer-pending asymmetry:
+// rv32.Step polls Timer.TakePending only in user mode (machine mode
+// runs with mstatus.MIE clear), while armv7m.Step polls SysTick
+// unconditionally (the model omits NVIC priority masking, so handler
+// mode is preemptible too). The asymmetry is deliberate and documented
+// on rv32.Machine.Step; what both ports MUST agree on — because it is
+// the only part the kernels observe — is the user-entry contract: a
+// tick already pending when control enters user code preempts before
+// any user instruction retires. These tests pin that contract on both
+// ports and both cores, so the deferred-poll semantics can never
+// silently swallow a tick across a kernel→user transition on one port
+// only.
+
+import (
+	"testing"
+
+	"ticktock/internal/armv7m"
+	"ticktock/internal/mpu"
+	"ticktock/internal/physmem"
+	"ticktock/internal/riscv"
+	"ticktock/internal/rv32"
+)
+
+// armPendingAtEntry builds an ARM machine with a tick already pending
+// and user code ready to run; returns instructions-retired when Run
+// stops.
+func armPendingAtEntry(t *testing.T, fast bool) (reason armv7m.StopReason, retired uint32) {
+	t.Helper()
+	mem := armv7m.NewMemory()
+	if _, err := mem.Map("flash", 0, 0x10000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mem.Map("ram", 0x2000_0000, 0x10000); err != nil {
+		t.Fatal(err)
+	}
+	m := armv7m.NewMachine(mem)
+	m.SetFastCore(fast)
+	a := armv7m.NewAssembler(0x100)
+	a.Label("loop").
+		Emit(armv7m.AddImm{Rd: armv7m.R0, Rn: armv7m.R0, Imm: 1}).
+		BTo(armv7m.AL, "loop")
+	if err := m.LoadProgram(a.MustAssemble()); err != nil {
+		t.Fatal(err)
+	}
+	m.CPU.PC = 0x100
+	m.CPU.MSP = 0x2000_FF00
+	// Arm with reload 1 and advance past it: the expiry is latched
+	// before the first instruction ever issues — the "pending at user
+	// entry" state a kernel SwitchToUser can produce.
+	m.Tick.Arm(1)
+	m.Tick.Advance(1)
+	if !m.Tick.Pending() {
+		t.Fatal("setup: tick not pending")
+	}
+	stop, err := m.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stop.Reason, m.CPU.R[armv7m.R0]
+}
+
+// rvPendingAtEntry does the same on the RISC-V port: latch the tick
+// while still in machine mode, ResumeUser, and run.
+func rvPendingAtEntry(t *testing.T, fast bool) (reason rv32.StopReason, retired uint32) {
+	t.Helper()
+	mem := rv32NewMem(t)
+	m := rv32.NewMachine(mem, riscv.ChipHiFive1)
+	m.SetFastCore(fast)
+	a := rv32.NewAssembler(0x2000_0000)
+	a.Label("loop").
+		Emit(rv32.Addi{Rd: rv32.A0, Rs1: rv32.A0, Imm: 1}).
+		JTo("loop")
+	if err := m.LoadProgram(a.MustAssemble()); err != nil {
+		t.Fatal(err)
+	}
+	code, _ := riscv.EncodeNAPOT(0x2000_0000, 0x10000)
+	if err := m.PMP.SetEntry(0, riscv.EncodeCfg(mpu.ReadExecuteOnly, riscv.ANapot), code); err != nil {
+		t.Fatal(err)
+	}
+	// Latch the expiry while in machine mode: Step must NOT deliver it
+	// yet (machine mode masks the timer)...
+	m.Timer.Arm(1)
+	m.Timer.Advance(1)
+	if !m.Timer.Pending() {
+		t.Fatal("setup: timer not pending")
+	}
+	// ...but the moment the kernel resumes user code, delivery must
+	// precede the first user instruction.
+	m.ResumeUser(0x2000_0000)
+	stop, err := m.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stop.Reason, m.X[rv32.A0]
+}
+
+func rv32NewMem(t *testing.T) *physmem.Memory {
+	t.Helper()
+	mem := physmem.NewMemory()
+	if _, err := mem.Map("flash", 0x2000_0000, 0x10000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mem.Map("ram", 0x8000_0000, 0x10000); err != nil {
+		t.Fatal(err)
+	}
+	return mem
+}
+
+// TestTimerPendingAtUserEntryParity: both ports, both cores — a tick
+// pending at user entry preempts with zero user instructions retired.
+func TestTimerPendingAtUserEntryParity(t *testing.T) {
+	for _, fast := range []bool{false, true} {
+		name := "oracle"
+		if fast {
+			name = "fastcore"
+		}
+		t.Run(name, func(t *testing.T) {
+			armReason, armRetired := armPendingAtEntry(t, fast)
+			if armReason != armv7m.StopPreempted || armRetired != 0 {
+				t.Fatalf("armv7m: stop=%v retired=%d, want preempted before any instruction", armReason, armRetired)
+			}
+			rvReason, rvRetired := rvPendingAtEntry(t, fast)
+			if rvReason != rv32.StopTimer || rvRetired != 0 {
+				t.Fatalf("rv32: stop=%v retired=%d, want timer trap before any instruction", rvReason, rvRetired)
+			}
+		})
+	}
+}
+
+// TestMachineModeDefersTimerOnRiscvOnly pins the documented asymmetry
+// itself: with a tick pending, machine-mode RISC-V code keeps stepping
+// (interrupts masked) while the latched interrupt survives for the next
+// user entry. If someone "unifies" the ports by polling unconditionally
+// on rv32, this fails and points at the Step documentation.
+func TestMachineModeDefersTimerOnRiscvOnly(t *testing.T) {
+	mem := rv32NewMem(t)
+	m := rv32.NewMachine(mem, riscv.ChipHiFive1)
+	a := rv32.NewAssembler(0x2000_0000)
+	a.Emit(rv32.Addi{Rd: rv32.A0, Rs1: rv32.A0, Imm: 1}).
+		Emit(rv32.Addi{Rd: rv32.A0, Rs1: rv32.A0, Imm: 1}).
+		Emit(rv32.Wfi{})
+	if err := m.LoadProgram(a.MustAssemble()); err != nil {
+		t.Fatal(err)
+	}
+	m.PC = 0x2000_0000
+	// Machine mode, pending tick.
+	m.Timer.Arm(1)
+	m.Timer.Advance(1)
+	stop, err := m.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stop.Reason != rv32.StopWFI || m.X[rv32.A0] != 2 {
+		t.Fatalf("machine mode was preempted (stop=%v a0=%d); rv32 must defer the tick until user entry",
+			stop.Reason, m.X[rv32.A0])
+	}
+	if !m.Timer.Pending() {
+		t.Fatal("the deferred tick was lost instead of staying latched")
+	}
+}

@@ -83,7 +83,7 @@ func TestTracedCampaignCountsMatchKernelCounters(t *testing.T) {
 // and the same Stats with and without the tracer attached.
 func TestTracedRunCyclesMatchUntraced(t *testing.T) {
 	for _, tc := range apps.All() {
-		plainK, _, _, err := runOn(tc, kernel.FlavourTickTock, monolithic.BugSet{}, nil, nil, nil)
+		plainK, _, _, err := runOn(tc, kernel.FlavourTickTock, monolithic.BugSet{}, nil, nil, nil, false)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -197,6 +197,7 @@ func armRun(sc Scenario, cfg Config, inject bool, rec *flightrec.Recorder) (runS
 		Watchdog:    cfg.Watchdog,
 		BackoffBase: cfg.BackoffBase,
 		FlightRec:   rec,
+		FastCore:    cfg.FastCore,
 	}
 	applied := false
 	var machine *armv7m.Machine
@@ -431,6 +432,7 @@ func rvRun(sc Scenario, cfg Config, chip riscv.ChipConfig, inject bool, rec *fli
 		return runSignature{}, nil, false, err
 	}
 	k.AttachFlightRec(rec)
+	k.SetFastCore(cfg.FastCore)
 	k.FaultPolicy = rvkernel.PolicyRestart
 	if sc.Quarantine {
 		k.FaultPolicy = rvkernel.PolicyQuarantine

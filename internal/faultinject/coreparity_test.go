@@ -1,0 +1,24 @@
+package faultinject
+
+import "testing"
+
+// TestFaultCampaignCoreParity runs the fault-injection campaign under
+// the block-cache fast core and demands the rendered report be
+// byte-identical to the oracle core's. The campaign is the harshest
+// invalidation stressor in the repo — FlipBits corruption lands at
+// quantum boundaries, exactly where cached blocks and load/store hints
+// would go stale — so identical classifications on ≥500 scenarios is
+// the acceptance proof that invalidation is sound, not merely that the
+// happy path agrees.
+func TestFaultCampaignCoreParity(t *testing.T) {
+	n := 500
+	if testing.Short() {
+		n = 60
+	}
+	slow := Run(Config{Seed: 1009, N: n})
+	fast := Run(Config{Seed: 1009, N: n, FastCore: true})
+	if got, want := fast.Text(), slow.Text(); got != want {
+		t.Fatalf("fast-core campaign report diverges from oracle over %d scenarios:\n-- oracle --\n%s\n-- fast --\n%s",
+			n, want, got)
+	}
+}

@@ -144,6 +144,12 @@ type Config struct {
 	// replayed (cmd/faultcamp -replay). Recording observes the cycle
 	// meter but never charges it, so classifications are unchanged.
 	Record bool
+	// FastCore runs every injected and baseline kernel on the
+	// block-cache fast core instead of the byte-scan oracle core. The
+	// campaign's mid-run register corruption (MPU/PMP FlipBits at
+	// quantum boundaries) is exactly the invalidation stressor for the
+	// cache, and classifications must be byte-identical either way.
+	FastCore bool
 	// Chaos injects failures into the *campaign machinery itself* when
 	// the campaign runs supervised (RunSupervised): a spec like
 	// "wedge:3,panic:5,flaky:7" wedges scenario 3 until its timeout,

@@ -128,6 +128,13 @@ type Options struct {
 	// replay and divergence bisection. Like tracing and metrics, the
 	// recorder observes the cycle meter but never charges it.
 	FlightRec *flightrec.Recorder
+	// FastCore enables the machine's block-cache fast core
+	// (armv7m.Machine.SetFastCore): predecoded basic blocks with
+	// accessmap-backed batch execute checks and load/store interval
+	// hints. Observable behaviour is byte-identical with the oracle
+	// core — the core-oracle difftests and the internal/specs
+	// block-cache obligations pin it — only speed changes.
+	FastCore bool
 }
 
 // DefaultTimeslice matches a 10 ms quantum at the modelled clock.
@@ -240,6 +247,9 @@ func New(opts Options) (*Kernel, error) {
 	}
 	if opts.Timeslice == 0 {
 		opts.Timeslice = DefaultTimeslice
+	}
+	if opts.FastCore {
+		b.Machine.SetFastCore(true)
 	}
 	k := &Kernel{
 		Board:      b,

@@ -7,6 +7,7 @@
 package physmem
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 )
@@ -46,6 +47,13 @@ const DirtyPageSize = 256
 type Memory struct {
 	segs []*Segment
 
+	// last is the most recently hit segment. Accesses are overwhelmingly
+	// local (the active RAM window, the current code page), so checking
+	// it first turns the common case into two compares instead of a
+	// binary search. Purely a cache: Segment falls back to the search on
+	// a miss, and Map never removes segments, so it can never go stale.
+	last *Segment
+
 	// dirty, when non-nil, collects the page bases written since the
 	// last DrainDirty — the flight recorder's copy-on-write signal. The
 	// write paths pay one nil check when tracking is off; tracking never
@@ -78,9 +86,13 @@ func (m *Memory) Map(name string, base uint32, size uint32) (*Segment, error) {
 
 // Segment returns the segment containing addr, or nil.
 func (m *Memory) Segment(addr uint32) *Segment {
+	if s := m.last; s != nil && addr >= s.Base && uint64(addr) < uint64(s.Base)+uint64(len(s.Data)) {
+		return s
+	}
 	// Binary search over sorted segment bases.
 	i := sort.Search(len(m.segs), func(i int) bool { return m.segs[i].End() > addr })
 	if i < len(m.segs) && m.segs[i].Contains(addr) {
+		m.last = m.segs[i]
 		return m.segs[i]
 	}
 	return nil
@@ -141,8 +153,17 @@ func (m *Memory) markDirty(addr, n uint32) {
 	}
 }
 
-// checkSpan verifies [addr, addr+n) is fully backed by one segment.
+// checkSpan verifies [addr, addr+n) is fully backed by one segment. The
+// last-hit check is duplicated from Segment so the common case inlines
+// into the load/store bodies without a call.
 func (m *Memory) checkSpan(addr uint32, n uint32) (*Segment, error) {
+	if s := m.last; s != nil && addr >= s.Base && uint64(addr)+uint64(n) <= uint64(s.Base)+uint64(len(s.Data)) {
+		return s, nil
+	}
+	return m.checkSpanSlow(addr, n)
+}
+
+func (m *Memory) checkSpanSlow(addr uint32, n uint32) (*Segment, error) {
 	seg := m.Segment(addr)
 	if seg == nil || uint64(addr)+uint64(n) > uint64(seg.End()) {
 		return nil, &BusError{Addr: addr}
@@ -178,9 +199,7 @@ func (m *Memory) ReadWord(addr uint32) (uint32, error) {
 	if err != nil {
 		return 0, err
 	}
-	off := addr - seg.Base
-	d := seg.Data[off : off+4]
-	return uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24, nil
+	return binary.LittleEndian.Uint32(seg.Data[addr-seg.Base:]), nil
 }
 
 // WriteWord stores a little-endian 32-bit word.
@@ -189,11 +208,7 @@ func (m *Memory) WriteWord(addr uint32, v uint32) error {
 	if err != nil {
 		return err
 	}
-	off := addr - seg.Base
-	seg.Data[off+0] = byte(v)
-	seg.Data[off+1] = byte(v >> 8)
-	seg.Data[off+2] = byte(v >> 16)
-	seg.Data[off+3] = byte(v >> 24)
+	binary.LittleEndian.PutUint32(seg.Data[addr-seg.Base:], v)
 	if m.dirty != nil {
 		m.markDirty(addr, 4)
 	}

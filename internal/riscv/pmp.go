@@ -179,6 +179,11 @@ func (p *PMP) FlipBits(i int, cfgXor uint8, addrXor uint32) {
 // fault-injection path, so cached derivations can detect staleness.
 func (p *PMP) Generation() uint64 { return p.gen }
 
+// FastStamp is the configuration stamp the block-cache fast paths key
+// cached permission decisions on. For PMP every configuration input lives
+// behind SetEntry/FlipBits, so the stamp is just the generation counter.
+func (p *PMP) FastStamp() uint64 { return p.gen }
+
 // Entry returns the raw CSR values of entry i.
 func (p *PMP) Entry(i int) (cfg uint8, addrReg uint32) { return p.cfg[i], p.addr[i] }
 

@@ -169,45 +169,73 @@ func (i Divu) String() string { return fmt.Sprintf("divu x%d, x%d, x%d", i.Rd, i
 
 // --- memory ---
 
-// loadChecked performs a PMP-checked load of width bytes.
-func loadChecked(m *Machine, addr uint32, width uint32) (uint32, error) {
+// loadFault wraps a load-path error as an access fault.
+func loadFault(addr uint32, err error) error {
+	return &accessFault{cause: CauseLoadAccessFault, addr: addr, inner: err}
+}
+
+// loadGate runs the PMP check and the injected load-fault hook; the
+// memory read itself lives in the width-specific callers so each stays
+// a straight-line candidate for inlining.
+func loadGate(m *Machine, addr uint32) error {
 	if err := m.check(addr, mpu.AccessRead); err != nil {
-		return 0, &accessFault{cause: CauseLoadAccessFault, addr: addr, inner: err}
+		return loadFault(addr, err)
 	}
 	if m.LoadFault != nil {
 		if err := m.LoadFault(addr); err != nil {
-			return 0, &accessFault{cause: CauseLoadAccessFault, addr: addr, inner: err}
+			return loadFault(addr, err)
 		}
 	}
-	switch width {
-	case 1:
-		b, err := m.Mem.LoadByte(addr)
-		if err != nil {
-			return 0, &accessFault{cause: CauseLoadAccessFault, addr: addr, inner: err}
-		}
-		return uint32(b), nil
-	default:
-		v, err := m.Mem.ReadWord(addr)
-		if err != nil {
-			return 0, &accessFault{cause: CauseLoadAccessFault, addr: addr, inner: err}
-		}
-		return v, nil
-	}
+	return nil
 }
 
-// storeChecked performs a PMP-checked store of width bytes.
-func storeChecked(m *Machine, addr uint32, v uint32, width uint32) error {
-	if err := m.check(addr, mpu.AccessWrite); err != nil {
-		return &accessFault{cause: CauseStoreAccessFault, addr: addr, inner: err}
+// loadWordChecked performs a PMP-checked word load.
+func loadWordChecked(m *Machine, addr uint32) (uint32, error) {
+	if err := loadGate(m, addr); err != nil {
+		return 0, err
 	}
-	var err error
-	if width == 1 {
-		err = m.Mem.StoreByte(addr, byte(v))
-	} else {
-		err = m.Mem.WriteWord(addr, v)
-	}
+	v, err := m.Mem.ReadWord(addr)
 	if err != nil {
-		return &accessFault{cause: CauseStoreAccessFault, addr: addr, inner: err}
+		return 0, loadFault(addr, err)
+	}
+	return v, nil
+}
+
+// loadByteChecked performs a PMP-checked byte load.
+func loadByteChecked(m *Machine, addr uint32) (uint32, error) {
+	if err := loadGate(m, addr); err != nil {
+		return 0, err
+	}
+	b, err := m.Mem.LoadByte(addr)
+	if err != nil {
+		return 0, loadFault(addr, err)
+	}
+	return uint32(b), nil
+}
+
+// storeFault wraps a store-path error as an access fault.
+func storeFault(addr uint32, err error) error {
+	return &accessFault{cause: CauseStoreAccessFault, addr: addr, inner: err}
+}
+
+// storeWordChecked performs a PMP-checked word store.
+func storeWordChecked(m *Machine, addr uint32, v uint32) error {
+	if err := m.check(addr, mpu.AccessWrite); err != nil {
+		return storeFault(addr, err)
+	}
+	if err := m.Mem.WriteWord(addr, v); err != nil {
+		return storeFault(addr, err)
+	}
+	return nil
+}
+
+// storeByteChecked performs a PMP-checked byte store.
+func storeByteChecked(m *Machine, addr uint32, v uint32) error {
+	if err := m.check(addr, mpu.AccessWrite); err != nil {
+		return storeFault(addr, err)
+	}
+	if err := m.Mem.StoreByte(addr, byte(v)); err != nil {
+		return storeFault(addr, err)
 	}
 	return nil
 }
@@ -219,7 +247,7 @@ type Lw struct {
 }
 
 func (i Lw) Exec(m *Machine) error {
-	v, err := loadChecked(m, m.reg(i.Rs1)+uint32(i.Off), 4)
+	v, err := loadWordChecked(m, m.reg(i.Rs1)+uint32(i.Off))
 	if err != nil {
 		return err
 	}
@@ -236,7 +264,7 @@ type Sw struct {
 }
 
 func (i Sw) Exec(m *Machine) error {
-	return storeChecked(m, m.reg(i.Rs1)+uint32(i.Off), m.reg(i.Rs2), 4)
+	return storeWordChecked(m, m.reg(i.Rs1)+uint32(i.Off), m.reg(i.Rs2))
 }
 func (i Sw) Cost() uint64   { return cycles.Store }
 func (i Sw) String() string { return fmt.Sprintf("sw x%d, %d(x%d)", i.Rs2, i.Off, i.Rs1) }
@@ -248,7 +276,7 @@ type Lbu struct {
 }
 
 func (i Lbu) Exec(m *Machine) error {
-	v, err := loadChecked(m, m.reg(i.Rs1)+uint32(i.Off), 1)
+	v, err := loadByteChecked(m, m.reg(i.Rs1)+uint32(i.Off))
 	if err != nil {
 		return err
 	}
@@ -265,7 +293,7 @@ type Sb struct {
 }
 
 func (i Sb) Exec(m *Machine) error {
-	return storeChecked(m, m.reg(i.Rs1)+uint32(i.Off), m.reg(i.Rs2), 1)
+	return storeByteChecked(m, m.reg(i.Rs1)+uint32(i.Off), m.reg(i.Rs2))
 }
 func (i Sb) Cost() uint64   { return cycles.Store }
 func (i Sb) String() string { return fmt.Sprintf("sb x%d, %d(x%d)", i.Rs2, i.Off, i.Rs1) }

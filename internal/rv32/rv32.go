@@ -256,6 +256,11 @@ type Machine struct {
 
 	progs []*Program
 
+	// fast, when non-nil, enables the block-cache fast core: Run
+	// dispatches through predecoded basic blocks and check uses
+	// interval hints. Step stays the byte-scan oracle either way.
+	fast *fastState
+
 	pcWritten bool
 }
 
@@ -278,22 +283,36 @@ func (m *Machine) LoadProgram(p *Program) error {
 	}
 	m.progs = append(m.progs, p)
 	sort.Slice(m.progs, func(i, j int) bool { return m.progs[i].Base < m.progs[j].Base })
+	if m.fast != nil {
+		m.fast.table.Flush()
+	}
 	return nil
 }
 
-// reg reads a register (x0 reads as zero).
-func (m *Machine) reg(r Reg) uint32 {
-	if r == 0 {
-		return 0
+// progAt returns the loaded program containing addr, or nil. Programs
+// are base-sorted and non-overlapping, so their End values are sorted
+// too and a single binary search finds the only candidate.
+func (m *Machine) progAt(addr uint32) *Program {
+	i := sort.Search(len(m.progs), func(i int) bool { return m.progs[i].End() > addr })
+	if i < len(m.progs) && addr >= m.progs[i].Base {
+		return m.progs[i]
 	}
+	return nil
+}
+
+// reg reads a register. X[0] is kept zero by setReg, so no branch is
+// needed to make x0 read as zero.
+func (m *Machine) reg(r Reg) uint32 {
 	return m.X[r]
 }
 
-// setReg writes a register (writes to x0 are discarded).
+// setReg writes a register. Writes to x0 must be discarded; instead of
+// branching, the write lands and x0 is unconditionally re-zeroed, which
+// keeps the hot path branch-free while preserving the X[0]==0 invariant
+// that reg relies on.
 func (m *Machine) setReg(r Reg, v uint32) {
-	if r != 0 {
-		m.X[r] = v
-	}
+	m.X[r] = v
+	m.X[0] = 0
 }
 
 // writePC records an explicit PC write.
@@ -305,17 +324,34 @@ func (m *Machine) writePC(v uint32) {
 // machineMode reports whether PMP checks run with M-mode rights.
 func (m *Machine) machineMode() bool { return m.Priv == PrivMachine }
 
-// check runs the PMP check at the current privilege.
+// check runs the PMP check at the current privilege. With the fast core
+// enabled it first consults the last-hit accessmap interval hint; only
+// the success case is ever short-circuited, so denials reach the
+// hardware Check and produce byte-identical fault values. Like the
+// oracle path, the check covers the access's first byte.
 func (m *Machine) check(addr uint32, kind mpu.AccessKind) error {
+	if f := m.fast; f != nil {
+		priv := m.machineMode()
+		stamp := m.PMP.FastStamp()
+		if f.hints.Allows(addr, 1, kind, priv, stamp) {
+			f.table.Stats.HintHits++
+			return nil
+		}
+		f.table.Stats.HintMisses++
+		if f.hints.Update(addr, 1, kind, priv, stamp, m.PMP.AccessMap()) {
+			return nil
+		}
+	}
 	return m.PMP.Check(addr, kind, m.machineMode())
 }
 
-// fetch returns the instruction at addr after a PMP execute check.
+// fetch returns the instruction at addr after a PMP execute check. The
+// check covers the instruction's first byte.
 func (m *Machine) fetch(addr uint32) (Instr, error) {
 	if err := m.check(addr, mpu.AccessExecute); err != nil {
 		return nil, err
 	}
-	for _, p := range m.progs {
+	if p := m.progAt(addr); p != nil {
 		if in := p.At(addr); in != nil {
 			return in, nil
 		}
@@ -342,6 +378,19 @@ func (m *Machine) ResumeUser(pc uint32) {
 }
 
 // Step executes one instruction, returning a Stop when a trap was taken.
+//
+// The pending machine-timer interrupt is polled only in user mode: in
+// machine mode mstatus.MIE is clear (the kernel runs with interrupts
+// masked and re-enables them via MRET/ResumeUser), so a tick latched
+// while machine-mode code steps stays pending and is delivered before
+// the first user instruction after ResumeUser. This deliberately
+// differs from armv7m, whose SysTick preempts handler mode too (the
+// model omits NVIC priority masking); both kernels only ever step user
+// code, so the asymmetry is unobservable in the kernel flows, and the
+// cross-port contract — a tick pending at user entry preempts before
+// any user instruction retires — is pinned by the timer_user_entry
+// obligation in internal/specs and TestTimerPendingAtUserEntryParity
+// in internal/difftest.
 func (m *Machine) Step() (*Stop, error) {
 	if m.Priv == PrivUser && m.Timer.TakePending() {
 		m.trap(CauseMachineTimer, 0)
@@ -359,26 +408,7 @@ func (m *Machine) Step() (*Stop, error) {
 	m.Meter.Add(cost)
 	m.Timer.Advance(cost)
 	if execErr != nil {
-		switch e := execErr.(type) {
-		case *ecallTrap:
-			cause := uint32(CauseEcallU)
-			if m.Priv == PrivMachine {
-				cause = CauseEcallM
-			}
-			m.trap(cause, 0)
-			return &Stop{Reason: StopEcall, Cause: cause}, nil
-		case *wfiTrap:
-			m.PC += 4
-			return &Stop{Reason: StopWFI}, nil
-		case *illegalTrap:
-			m.trap(CauseIllegalInstr, 0)
-			return &Stop{Reason: StopFault, Cause: CauseIllegalInstr, Fault: e}, nil
-		case *accessFault:
-			m.trap(e.cause, e.addr)
-			return &Stop{Reason: StopFault, Cause: e.cause, Fault: e.inner}, nil
-		default:
-			return nil, execErr
-		}
+		return m.execStop(execErr)
 	}
 	if !m.pcWritten {
 		m.PC += 4
@@ -386,8 +416,38 @@ func (m *Machine) Step() (*Stop, error) {
 	return nil, nil
 }
 
+// execStop maps a trap error returned by Exec to its trap entry and
+// Stop. Shared by the oracle Step and the fast-core dispatch loop so
+// both produce identical architectural effects. The caller must already
+// have charged the instruction's cost to the meter and timer.
+func (m *Machine) execStop(execErr error) (*Stop, error) {
+	switch e := execErr.(type) {
+	case *ecallTrap:
+		cause := uint32(CauseEcallU)
+		if m.Priv == PrivMachine {
+			cause = CauseEcallM
+		}
+		m.trap(cause, 0)
+		return &Stop{Reason: StopEcall, Cause: cause}, nil
+	case *wfiTrap:
+		m.PC += 4
+		return &Stop{Reason: StopWFI}, nil
+	case *illegalTrap:
+		m.trap(CauseIllegalInstr, 0)
+		return &Stop{Reason: StopFault, Cause: CauseIllegalInstr, Fault: e}, nil
+	case *accessFault:
+		m.trap(e.cause, e.addr)
+		return &Stop{Reason: StopFault, Cause: e.cause, Fault: e.inner}, nil
+	default:
+		return nil, execErr
+	}
+}
+
 // Run steps until a trap or the cycle budget is exhausted (0 = unlimited).
 func (m *Machine) Run(budget uint64) (*Stop, error) {
+	if m.fast != nil {
+		return m.runFast(budget)
+	}
 	start := m.Meter.Cycles()
 	for {
 		stop, err := m.Step()

@@ -417,6 +417,10 @@ func New(chip riscv.ChipConfig) (*Kernel, error) {
 	}, nil
 }
 
+// SetFastCore enables or disables the machine's block-cache fast core
+// (rv32.Machine.SetFastCore); observable behaviour is unchanged.
+func (k *Kernel) SetFastCore(on bool) { k.Machine.SetFastCore(on) }
+
 // Output returns a process's console output.
 func (k *Kernel) Output(p *Process) string { return string(k.output[p.ID]) }
 

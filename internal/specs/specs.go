@@ -664,7 +664,7 @@ func BuildEndToEnd(sc Scale) *verify.Registry {
 // BuildAll merges every registry for the Figure 10 effort table.
 func BuildAll(sc Scale) *verify.Registry {
 	r := verify.NewRegistry()
-	for _, sub := range []*verify.Registry{BuildGranular(sc), BuildMonolithic(sc), BuildInterrupts(sc), BuildEndToEnd(sc), BuildSupervision(sc), BuildAccessMap(sc), BuildCampaign(sc)} {
+	for _, sub := range []*verify.Registry{BuildGranular(sc), BuildMonolithic(sc), BuildInterrupts(sc), BuildEndToEnd(sc), BuildSupervision(sc), BuildAccessMap(sc), BuildBlockCache(sc), BuildCampaign(sc)} {
 		for _, s := range sub.Specs() {
 			r.Add(s)
 		}

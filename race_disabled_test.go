@@ -1,0 +1,7 @@
+//go:build !race
+
+package ticktock
+
+// raceEnabled mirrors the runtime's internal flag: true only when the
+// race detector is compiled in.
+const raceEnabled = false
