@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench profile cover ablation faultcamp accessbench benchjson replaycheck runcheck campaigncheck
+.PHONY: ci fmt vet build test race bench profile cover ablation faultcamp accessbench benchjson replaycheck runcheck campaigncheck telemetrycheck
 
 # ci is the gate the concurrency-touching paths (parallel difftest
 # campaign, goroutine-safe Stats, tracer, metrics registry) must keep
@@ -38,9 +38,9 @@ cover:
 
 # ablation proves the observability and fault-injection subsystems are
 # free at the simulated-cycle level when idle (tracer, metrics registry,
-# flight recorder, disarmed fault hooks).
+# flight recorder, disarmed fault hooks, telemetry plane).
 ablation:
-	$(GO) test -bench 'Ablation_TraceOverhead|Ablation_MetricsOverhead|Ablation_FaultInjectOverhead|Ablation_FlightRecOverhead' -benchtime 1x -run '^$$' .
+	$(GO) test -bench 'Ablation_TraceOverhead|Ablation_MetricsOverhead|Ablation_FaultInjectOverhead|Ablation_FlightRecOverhead|Ablation_TelemetryOverhead' -benchtime 1x -run '^$$' .
 
 # accessbench records the interval access-map engine against the
 # per-byte scan baseline on the 64 KiB acceptance query, per port, and
@@ -89,6 +89,19 @@ campaigncheck:
 	rm -rf quarantine && mkdir -p quarantine
 	$(GO) run ./cmd/faultcamp -seed 7 -n 12 -chaos "wedge:2,panic:9" -timeout 2s -retries 1 -quarantine quarantine
 	$(GO) run ./cmd/runpack verify -rerun quarantine/*
+
+# telemetrycheck proves the live telemetry plane end to end under the
+# race detector: plane/server/progress unit suites, the streaming
+# aggregation invariants (live aggregate == post-hoc merge at any worker
+# count), traced == untraced results, the exposition round-trip, and the
+# mid-run HTTP scrape — a supervised campaign run with -serve must
+# answer /metrics, /progress, /healthz and /timeline while running, with
+# validated payloads — then the zero-sim-cycle ablation guard.
+telemetrycheck:
+	$(GO) test -race -count=1 ./internal/telemetry/
+	$(GO) test -race -count=1 -run 'Telemetry|ServeAnswersMidRun|Delta|Exposition|RoundTrip|Help|ContentType|Fleet|Traced|LiveAggregate|LiveEquals|Blockcache|SnapshotUnderConcurrent|HistogramQuantile' \
+		./internal/metrics/ ./internal/trace/ ./internal/difftest/ ./internal/faultinject/ ./cmd/faultcamp/
+	$(GO) test -bench 'Ablation_TelemetryOverhead' -benchtime 1x -run '^$$' .
 
 # runcheck exercises the artifact provenance chain end to end: emit a
 # small campaign pack, a difftest pack and a replay pack into ./runpacks,

@@ -16,13 +16,16 @@ import (
 
 	"ticktock/internal/apps"
 	"ticktock/internal/armv7m"
+	"ticktock/internal/campaign"
 	"ticktock/internal/cyclebench"
 	"ticktock/internal/difftest"
+	"ticktock/internal/faultinject"
 	"ticktock/internal/flightrec"
 	"ticktock/internal/kernel"
 	"ticktock/internal/membench"
 	"ticktock/internal/metrics"
 	"ticktock/internal/specs"
+	"ticktock/internal/telemetry"
 	"ticktock/internal/trace"
 )
 
@@ -390,6 +393,91 @@ func BenchmarkAblation_FlightRecOverhead(b *testing.B) {
 		}
 		if delta != 0 {
 			b.Fatalf("recording cost %d simulated cycles (recorded=%d unrecorded=%d)", delta, recCycles, plainCycles)
+		}
+	}
+	b.ReportMetric(float64(delta), "sim-cycle-delta")
+}
+
+// BenchmarkAblation_TelemetryOverhead guards the live telemetry plane's
+// house rule at both layers. Kernel layer: a plane-fed unit tracer must
+// reach the identical meter reading, `create` cycle stats and switch
+// count as an untraced run — telemetry observes the cycle meter, it
+// never charges it. Campaign layer: a fully telemetered supervised
+// campaign (observer, per-attempt tracers, streaming aggregation) must
+// render a byte-identical report to the untelemetered run, and the
+// plane must actually have seen the fleet (spans with nested kernel
+// events, nonzero live series) so the guard cannot pass vacuously.
+func BenchmarkAblation_TelemetryOverhead(b *testing.B) {
+	run := func(tr *trace.Tracer) (uint64, float64, uint64) {
+		k, err := kernel.New(kernel.Options{Flavour: kernel.FlavourTickTock, Timeslice: 200, Trace: tr})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := k.LoadProcess(spinner()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := k.Run(50); err != nil {
+			b.Fatal(err)
+		}
+		return k.Meter().Cycles(), k.Stats.Get("create").Mean(), k.Switches
+	}
+	cfg := faultinject.Config{Seed: 42, N: 4}
+	sup := campaign.Config{Workers: 2}
+	var delta uint64
+	for i := 0; i < b.N; i++ {
+		// Kernel layer: plane-fed tracer vs none.
+		plainCycles, plainCreate, plainSwitches := run(nil)
+		plane := telemetry.New()
+		plane.CampaignStart("bench", 1, 1, 0)
+		plane.UnitStart(0, 0, false)
+		plane.AttemptStart(0, 0, 1)
+		tr := plane.UnitTracer(0)
+		if tr == nil {
+			b.Fatal("plane refused a tracer for an open unit")
+		}
+		tracedCycles, tracedCreate, tracedSwitches := run(tr)
+		if tr.Emitted() == 0 {
+			b.Fatal("plane-fed tracer attached but no events emitted")
+		}
+		if plainCreate != tracedCreate || plainSwitches != tracedSwitches {
+			b.Fatalf("telemetry changed the workload: create %v->%v, switches %d->%d",
+				plainCreate, tracedCreate, plainSwitches, tracedSwitches)
+		}
+		if tracedCycles > plainCycles {
+			delta = tracedCycles - plainCycles
+		} else {
+			delta = plainCycles - tracedCycles
+		}
+		if delta != 0 {
+			b.Fatalf("telemetry cost %d simulated cycles (traced=%d untraced=%d)", delta, tracedCycles, plainCycles)
+		}
+
+		// Campaign layer: telemetered report must be byte-identical.
+		plainRep, _, err := faultinject.RunSupervised(cfg, sup)
+		if err != nil {
+			b.Fatal(err)
+		}
+		telPlane := telemetry.New()
+		telRep, _, err := faultinject.RunSupervisedTelemetry(cfg, sup, telPlane)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if plainRep.Text() != telRep.Text() {
+			b.Fatalf("telemetry changed the report:\nplain:\n%s\ntelemetered:\n%s", plainRep.Text(), telRep.Text())
+		}
+		tl := telPlane.Timeline()
+		nested := false
+		for _, sp := range tl.Spans {
+			if len(sp.Kernel) > 0 {
+				nested = true
+				break
+			}
+		}
+		if !nested {
+			b.Fatal("vacuous guard: no kernel events nested under attempt spans")
+		}
+		if len(telPlane.Live().Snapshot().Counters) == 0 {
+			b.Fatal("vacuous guard: live aggregate is empty after the campaign")
 		}
 	}
 	b.ReportMetric(float64(delta), "sim-cycle-delta")

@@ -12,6 +12,7 @@
 //
 //	difftest [-v] [-j N] [-notrace] [-bug grant-overlap|brk-underflow|missed-mode-switch]
 //	         [-runpack DIR] [-distill DIR] [-timeout D] [-retries N]
+//	         [-serve ADDR] [-progress]
 //	difftest -cores [-j N]
 //
 // With -cores the campaign diffs emulator cores instead of kernel
@@ -24,6 +25,11 @@
 // wall-clock bound, a panicking case is recovered, failed cases are
 // retried up to the budget, and a case failing every attempt becomes an
 // errored row instead of taking the pool down.
+//
+// With -serve ADDR a live telemetry server answers while the campaign
+// runs: /metrics, /progress, /healthz and /timeline (see
+// docs/OBSERVABILITY.md). -progress renders a single-line live ticker
+// to stderr. Both force the supervised path; neither changes the rows.
 //
 // With -runpack DIR the campaign is sealed into a content-addressed
 // artifact pack under DIR (verify it with `runpack verify`). With
@@ -39,6 +45,7 @@ import (
 	"ticktock/internal/campaign"
 	"ticktock/internal/difftest"
 	"ticktock/internal/runpack"
+	"ticktock/internal/telemetry"
 )
 
 func main() {
@@ -51,6 +58,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-case wall-clock timeout under the campaign supervisor (0 = unsupervised)")
 	retries := flag.Int("retries", 0, "retry budget per case under the campaign supervisor")
 	cores := flag.Bool("cores", false, "diff the block-cache fast core against the byte-scan oracle core instead of kernel flavours")
+	serve := flag.String("serve", "", "serve live telemetry on ADDR while the campaign runs (/metrics, /progress, /healthz, /timeline); the bound address is printed to stderr")
+	progress := flag.Bool("progress", false, "render a single-line live progress ticker to stderr")
 	flag.Parse()
 
 	if *cores {
@@ -78,10 +87,29 @@ func main() {
 		os.Exit(2)
 	}
 
+	var plane *telemetry.Plane
+	if *serve != "" || *progress {
+		plane = telemetry.New()
+	}
+	if *serve != "" {
+		srv, err := telemetry.Serve(*serve, plane)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "difftest: telemetry server: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s\n", srv.Addr())
+	}
+
 	var rows []difftest.Row
-	if *timeout > 0 || *retries > 0 {
+	if *timeout > 0 || *retries > 0 || plane != nil {
+		tty := (*telemetry.TTY)(nil)
+		if *progress {
+			tty = telemetry.StartTTY(os.Stderr, plane, 0)
+		}
 		var err error
-		rows, _, err = difftest.RunAllSupervised(cfg, campaign.Config{Timeout: *timeout, Retries: *retries})
+		rows, _, err = difftest.RunAllSupervisedTelemetry(cfg, campaign.Config{Timeout: *timeout, Retries: *retries}, plane)
+		tty.Stop()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "difftest: %v\n", err)
 			os.Exit(1)

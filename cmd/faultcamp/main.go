@@ -8,7 +8,7 @@
 //	faultcamp [-seed N] [-n N] [-workers N] [-rows] [-metrics] [-replay]
 //	          [-runpack DIR] [-distill DIR]
 //	          [-resume FILE] [-timeout D] [-retries N] [-stop-after N]
-//	          [-quarantine DIR] [-chaos SPEC]
+//	          [-quarantine DIR] [-chaos SPEC] [-serve ADDR] [-progress]
 //
 // The same seed reproduces a byte-identical report. The exit status is
 // non-zero when any scenario hit an infrastructure error or — the hard
@@ -20,8 +20,17 @@
 // violation is replayed and printed — the time-travel view of how the
 // contract broke.
 //
-// Any of -resume, -timeout, -retries, -stop-after, -quarantine or
-// -chaos runs the campaign under the crash-resilient supervisor
+// With -serve ADDR a live telemetry server answers while the campaign
+// runs: /metrics (Prometheus exposition of the streaming fleet
+// aggregate), /progress (JSON progress snapshot), /healthz and
+// /timeline (the merged wall-clock/kernel-event fleet trace in Chrome
+// trace-event JSON). -progress renders a single-line live ticker to
+// stderr. Both force the supervised path; neither changes the report —
+// telemetry observes the campaign, it never steers it.
+//
+// Any of -resume, -timeout, -retries, -stop-after, -quarantine,
+// -chaos, -serve or -progress runs the campaign under the
+// crash-resilient supervisor
 // (internal/campaign): per-scenario wall-clock timeouts, panic
 // isolation, retry with exponential backoff and poison quarantine. With
 // -resume FILE, completed scenarios are checkpointed to an fsync'd
@@ -50,6 +59,7 @@ import (
 	"ticktock/internal/faultinject"
 	"ticktock/internal/metrics"
 	"ticktock/internal/runpack"
+	"ticktock/internal/telemetry"
 )
 
 func main() {
@@ -73,6 +83,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	stopAfter := fs.Int("stop-after", 0, "checkpoint and stop after N newly completed scenarios (pair with -resume to continue)")
 	quarantineDir := fs.String("quarantine", "", "seal every quarantined scenario as a bug-report runpack under DIR")
 	chaos := fs.String("chaos", "", `inject failures into the campaign machinery itself, e.g. "wedge:3,panic:5,flaky:7"`)
+	serve := fs.String("serve", "", "serve live telemetry on ADDR while the campaign runs (/metrics, /progress, /healthz, /timeline); the bound address is printed to stderr")
+	progress := fs.Bool("progress", false, "render a single-line live progress ticker to stderr")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -91,13 +103,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Journal: *resume, StopAfter: *stopAfter,
 	}
 	supervised := *resume != "" || *timeout > 0 || *retries > 0 ||
-		*stopAfter > 0 || *quarantineDir != "" || *chaos != ""
+		*stopAfter > 0 || *quarantineDir != "" || *chaos != "" ||
+		*serve != "" || *progress
+
+	var plane *telemetry.Plane
+	if *serve != "" || *progress {
+		plane = telemetry.New()
+	}
+	if *serve != "" {
+		srv, err := telemetry.Serve(*serve, plane)
+		if err != nil {
+			fmt.Fprintf(stderr, "faultcamp: telemetry server: %v\n", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "telemetry: serving http://%s\n", srv.Addr())
+	}
 
 	var rep *faultinject.Report
 	var supRun *campaign.Run[faultinject.Result]
 	if supervised {
+		tty := (*telemetry.TTY)(nil)
+		if *progress {
+			tty = telemetry.StartTTY(stderr, plane, 0)
+		}
 		var err error
-		rep, supRun, err = faultinject.RunSupervised(cfg, sup)
+		rep, supRun, err = faultinject.RunSupervisedTelemetry(cfg, sup, plane)
+		tty.Stop()
 		if err != nil {
 			fmt.Fprintf(stderr, "faultcamp: %v\n", err)
 			return 1

@@ -2,12 +2,20 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
+	"ticktock/internal/faultinject"
+	"ticktock/internal/metrics"
 	"ticktock/internal/runpack"
+	"ticktock/internal/telemetry"
 )
 
 // runCLI invokes the faultcamp entry point against buffers.
@@ -134,5 +142,115 @@ func TestSupervisedRunpackSealsAndVerifies(t *testing.T) {
 	receipt, err := os.ReadFile(filepath.Join(packs[0], runpack.ReceiptName))
 	if err != nil || !strings.Contains(string(receipt), "-chaos") {
 		t.Fatalf("receipt should carry the chaos spec: %s (%v)", receipt, err)
+	}
+}
+
+// lockedBuf is a goroutine-safe writer for streaming the CLI's stderr
+// while the campaign runs in a background goroutine.
+type lockedBuf struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (l *lockedBuf) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuf) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// TestServeAnswersMidRun drives the live telemetry surface end to end:
+// a campaign with one wedged scenario (guaranteeing a minimum wall
+// time) runs with -serve, and while it runs the test scrapes /healthz,
+// /metrics, /progress and /timeline off the printed address and
+// validates each payload. The campaign must still exit clean.
+func TestServeAnswersMidRun(t *testing.T) {
+	var stderr lockedBuf
+	var stdout lockedBuf
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{
+			"-seed", "42", "-n", "8", "-workers", "2",
+			"-chaos", "wedge:0", "-timeout", "3s",
+			"-serve", "127.0.0.1:0", "-progress",
+		}, &stdout, &stderr)
+	}()
+
+	// The bound address is printed before the campaign starts.
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("no telemetry address printed; stderr:\n%s", stderr.String())
+		}
+		if _, rest, ok := strings.Cut(stderr.String(), "telemetry: serving http://"); ok {
+			addr = strings.TrimSpace(strings.SplitN(rest, "\n", 2)[0])
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	get := func(path string) (string, *http.Response) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return string(body), resp
+	}
+
+	if body, _ := get("/healthz"); strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz: %q", body)
+	}
+
+	body, resp := get("/metrics")
+	if ct := resp.Header.Get("Content-Type"); ct != metrics.ContentType {
+		t.Fatalf("/metrics content type %q, want %q", ct, metrics.ContentType)
+	}
+	if _, err := metrics.ParsePrometheus(strings.NewReader(body)); err != nil {
+		t.Fatalf("/metrics does not parse: %v\n%s", err, body)
+	}
+
+	body, _ = get("/progress")
+	var pr telemetry.Progress
+	if err := json.Unmarshal([]byte(body), &pr); err != nil {
+		t.Fatalf("/progress is not valid JSON: %v\n%s", err, body)
+	}
+	if pr.Kind != faultinject.SupervisedKind || pr.Units != 8 || pr.Workers != 2 {
+		t.Fatalf("/progress fields: %+v", pr)
+	}
+	if !pr.Running {
+		t.Fatalf("/progress mid-run reports not running: %+v", pr)
+	}
+
+	body, _ = get("/timeline")
+	var tl struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &tl); err != nil {
+		t.Fatalf("/timeline is not valid JSON: %v", err)
+	}
+	if len(tl.TraceEvents) == 0 {
+		t.Fatal("/timeline has no events mid-run")
+	}
+
+	code := <-done
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "fault-injection campaign: 8 scenarios") {
+		t.Fatalf("stdout:\n%s", stdout.String())
 	}
 }

@@ -171,6 +171,9 @@ type Config struct {
 	// pause hook, and how the kill-and-resume tests interrupt a
 	// campaign at an arbitrary checkpoint.
 	StopAfter int
+	// Observer, when non-nil, receives wall-clock lifecycle events
+	// (see Observer). It observes scheduling; it never influences it.
+	Observer Observer
 }
 
 // DefaultCheckpointEvery is the checkpoint cadence.

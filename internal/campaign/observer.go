@@ -1,0 +1,36 @@
+package campaign
+
+import "time"
+
+// Observer receives wall-clock lifecycle events from Supervise — the
+// hook the live telemetry plane (internal/telemetry) hangs fleet spans
+// and progress tracking on. Methods are called from worker goroutines
+// concurrently, so implementations must be goroutine-safe; they run on
+// the supervision (wall-clock) plane only and must never touch
+// simulated state. A nil Config.Observer disables observation with no
+// other behaviour change: outcomes, journals and aggregates are
+// byte-identical with and without one.
+type Observer interface {
+	// CampaignStart fires once before any unit runs. resumed counts
+	// units restored from the journal rather than run in this
+	// invocation.
+	CampaignStart(kind string, units, workers, resumed int)
+	// UnitStart fires when a worker picks up a unit; stolen marks a
+	// unit taken from another worker's shard.
+	UnitStart(unit, worker int, stolen bool)
+	// AttemptStart/AttemptEnd bracket one attempt at a unit. failure is
+	// "" for a successful attempt, else FailTimeout/FailCrashed/
+	// FailError.
+	AttemptStart(unit, worker, attempt int)
+	AttemptEnd(unit, worker, attempt int, failure string)
+	// UnitBackoff fires before the backoff sleep that precedes retry
+	// attempt+1.
+	UnitBackoff(unit, worker, attempt int, delay time.Duration)
+	// UnitDone fires when a unit reaches a terminal state.
+	UnitDone(unit, worker int, status Status, attempts []Attempt)
+	// Checkpoint fires every Config.CheckpointEvery newly completed
+	// units — the streaming-aggregation cadence.
+	Checkpoint(completed uint64)
+	// CampaignEnd fires once after every worker has drained.
+	CampaignEnd(stats Stats, interrupted bool)
+}

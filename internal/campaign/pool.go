@@ -79,7 +79,13 @@ func Supervise[R any](cfg Config, src Source[R]) (*Run[R], error) {
 	if workers > len(remaining) {
 		workers = len(remaining)
 	}
+	if obs := cfg.Observer; obs != nil {
+		obs.CampaignStart(src.Kind, src.N, workers, int(run.Stats.Resumed))
+	}
 	if len(remaining) == 0 {
+		if obs := cfg.Observer; obs != nil {
+			obs.CampaignEnd(run.Stats, false)
+		}
 		return run, nil
 	}
 
@@ -112,9 +118,15 @@ func Supervise[R any](cfg Config, src Source[R]) (*Run[R], error) {
 				if stolen {
 					atomic.AddUint64(&run.Stats.Steals, 1)
 				}
-				out := superviseUnit(cfg, src, i)
+				if obs := cfg.Observer; obs != nil {
+					obs.UnitStart(i, self, stolen)
+				}
+				out := superviseUnit(cfg, src, i, self)
 				run.Outcomes[i] = out
 				bookUnit(&run.Stats, out.Status, out.Attempts)
+				if obs := cfg.Observer; obs != nil {
+					obs.UnitDone(i, self, out.Status, out.Attempts)
+				}
 				if jl != nil {
 					var payload []byte
 					var err error
@@ -132,7 +144,11 @@ func Supervise[R any](cfg Config, src Source[R]) (*Run[R], error) {
 						jl.fail(err)
 					}
 				}
-				if n := completedNew.Add(1); cfg.StopAfter > 0 && n >= uint64(cfg.StopAfter) {
+				n := completedNew.Add(1)
+				if obs := cfg.Observer; obs != nil && n%uint64(cfg.CheckpointEvery) == 0 {
+					obs.Checkpoint(n)
+				}
+				if cfg.StopAfter > 0 && n >= uint64(cfg.StopAfter) {
 					stopped.Store(true)
 					return
 				}
@@ -149,8 +165,14 @@ func Supervise[R any](cfg Config, src Source[R]) (*Run[R], error) {
 	}
 	if jl != nil {
 		if err := jl.finish(&run.Stats); err != nil {
+			if obs := cfg.Observer; obs != nil {
+				obs.CampaignEnd(run.Stats, run.Interrupted)
+			}
 			return run, err
 		}
+	}
+	if obs := cfg.Observer; obs != nil {
+		obs.CampaignEnd(run.Stats, run.Interrupted)
 	}
 	return run, nil
 }
@@ -227,15 +249,26 @@ func bookUnit(st *Stats, status Status, attempts []Attempt) {
 
 // superviseUnit drives one unit through the attempt loop: run under
 // timeout and panic recovery, retry with geometric backoff while the
-// budget lasts, quarantine when it runs out.
-func superviseUnit[R any](cfg Config, src Source[R], i int) Outcome[R] {
+// budget lasts, quarantine when it runs out. worker identifies the
+// calling worker for the observer's span attribution only.
+func superviseUnit[R any](cfg Config, src Source[R], i, worker int) Outcome[R] {
 	out := Outcome[R]{Index: i, Key: src.Key(i)}
+	obs := cfg.Observer
 	for attempt := 0; ; attempt++ {
+		if obs != nil {
+			obs.AttemptStart(i, worker, attempt)
+		}
 		res, att := runAttempt(cfg, src, i)
 		if att == nil {
+			if obs != nil {
+				obs.AttemptEnd(i, worker, attempt, "")
+			}
 			out.Status = StatusOK
 			out.Result = res
 			return out
+		}
+		if obs != nil {
+			obs.AttemptEnd(i, worker, attempt, att.Failure)
 		}
 		out.Attempts = append(out.Attempts, *att)
 		if attempt >= cfg.Retries {
@@ -245,7 +278,11 @@ func superviseUnit[R any](cfg Config, src Source[R], i int) Outcome[R] {
 		if cfg.BackoffBase > 0 {
 			// Mirror the kernel's restart backoff: the r-th retry
 			// (1-based) waits base << (r-1).
-			cfg.Clock.Sleep(cfg.BackoffBase << uint(attempt))
+			delay := cfg.BackoffBase << uint(attempt)
+			if obs != nil {
+				obs.UnitBackoff(i, worker, attempt, delay)
+			}
+			cfg.Clock.Sleep(delay)
 		}
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"ticktock/internal/kernel"
 	"ticktock/internal/metrics"
 	"ticktock/internal/monolithic"
+	"ticktock/internal/telemetry"
 	"ticktock/internal/trace"
 )
 
@@ -168,12 +169,21 @@ func RunCase(tc apps.TestCase) Row { return RunCaseConfig(tc, Config{}) }
 // failures land in Row.Err; an unexpected mismatch triggers the
 // divergence trace dump (unless disabled).
 func RunCaseConfig(tc apps.TestCase, cfg Config) Row {
+	return RunCaseTraced(tc, cfg, nil)
+}
+
+// RunCaseTraced is RunCaseConfig with a kernel tracer attached to the
+// TickTock-flavour run — the hook the live telemetry plane uses to nest
+// a case's kernel events under its attempt span. The tracer observes
+// the cycle meter without charging it, so a traced Row is identical to
+// an untraced one. A nil tracer is exactly RunCaseConfig.
+func RunCaseTraced(tc apps.TestCase, cfg Config, tr *trace.Tracer) Row {
 	row := Row{Name: tc.Name, ExpectDiff: tc.ExpectDiff}
 	var ttReg, tkReg *metrics.Registry
 	if cfg.Metrics {
 		ttReg, tkReg = metrics.NewRegistry(), metrics.NewRegistry()
 	}
-	ttK, tt, ttStates, err := runOn(tc, kernel.FlavourTickTock, cfg.Bugs, nil, ttReg, nil, cfg.FastCore)
+	ttK, tt, ttStates, err := runOn(tc, kernel.FlavourTickTock, cfg.Bugs, tr, ttReg, nil, cfg.FastCore)
 	if err != nil {
 		row.Err = err
 		return row
@@ -294,6 +304,17 @@ func RunAllConfig(cfg Config) []Row {
 // sup.Journal must be empty (resumable manifests are the fault
 // campaign's feature).
 func RunAllSupervised(cfg Config, sup campaign.Config) ([]Row, *campaign.Run[Row], error) {
+	return RunAllSupervisedTelemetry(cfg, sup, nil)
+}
+
+// RunAllSupervisedTelemetry is RunAllSupervised with a live telemetry
+// plane: the plane becomes the supervisor's observer (when the caller
+// has not installed one), each attempt's TickTock run carries a kernel
+// tracer drawn from the plane's nest budget, and each completed row
+// publishes its per-flavour registries into the plane's streaming
+// aggregate — so the live aggregate converges to MergeMetrics of the
+// finished rows. A nil plane is exactly RunAllSupervised.
+func RunAllSupervisedTelemetry(cfg Config, sup campaign.Config, plane *telemetry.Plane) ([]Row, *campaign.Run[Row], error) {
 	if sup.Journal != "" {
 		return nil, nil, fmt.Errorf("difftest: rows are not journal-serializable; supervised difftest runs cannot resume")
 	}
@@ -301,18 +322,25 @@ func RunAllSupervised(cfg Config, sup campaign.Config) ([]Row, *campaign.Run[Row
 	if sup.Workers == 0 {
 		sup.Workers = cfg.Workers
 	}
+	if sup.Observer == nil && plane != nil {
+		sup.Observer = plane
+	}
 	src := campaign.Source[Row]{
 		N:    len(cases),
 		Kind: "difftest",
 		Key:  func(i int) string { return cases[i].Name },
 		Run: func(ctx context.Context, i int) (Row, error) {
-			row := RunCaseConfig(cases[i], cfg)
+			row := RunCaseTraced(cases[i], cfg, plane.UnitTracer(i))
 			if row.Err != nil {
 				// Surface the infrastructure failure to the supervisor so
 				// a transient one is retried and a persistent one is
 				// quarantined rather than silently booked as a row error.
 				return Row{}, row.Err
 			}
+			plane.UnitObservation(i, func(reg *metrics.Registry) {
+				reg.Merge(row.TickTockMetrics)
+				reg.Merge(row.TockMetrics)
+			})
 			return row, nil
 		},
 	}

@@ -17,6 +17,7 @@ import (
 	"ticktock/internal/riscv"
 	"ticktock/internal/rv32"
 	"ticktock/internal/rvkernel"
+	"ticktock/internal/trace"
 	"ticktock/internal/verify"
 )
 
@@ -86,11 +87,21 @@ func Run(cfg Config) *Report {
 // baseline and an injected run each, classifying the injected run
 // against its baseline.
 func RunScenario(sc Scenario, cfg Config) Result {
+	return RunScenarioTraced(sc, cfg, nil)
+}
+
+// RunScenarioTraced is RunScenario with a kernel tracer attached to the
+// *injected* runs on both ports — the hook the live telemetry plane
+// uses to nest a scenario's kernel events under its attempt span in the
+// fleet timeline. The tracer observes the cycle meter without charging
+// it, so a traced Result is identical to an untraced one. A nil tracer
+// is exactly RunScenario.
+func RunScenarioTraced(sc Scenario, cfg Config, tr *trace.Tracer) Result {
 	cfg = cfg.withDefaults()
 	return Result{
 		Scenario: sc,
-		ARM:      runARMScenario(sc, cfg),
-		RV:       runRVScenario(sc, cfg),
+		ARM:      runARMScenario(sc, cfg, tr),
+		RV:       runRVScenario(sc, cfg, tr),
 	}
 }
 
@@ -121,12 +132,12 @@ func RecordRuns(sc Scenario, cfg Config, inject bool) (arm, rv *flightrec.Record
 	}
 	armRec := flightrec.NewRecorder(armPort)
 	var armErr, rvErr error
-	if _, _, _, e := armRun(sc, cfg, inject, armRec); e != nil {
+	if _, _, _, e := armRun(sc, cfg, inject, armRec, nil); e != nil {
 		armErr = fmt.Errorf("faultinject: recording %s: %w", armPort, e)
 	}
 	chip := riscv.Chips[sc.Chip%len(riscv.Chips)]
 	rvRec := flightrec.NewRecorder("rv32-" + chip.Name)
-	if _, _, _, e := rvRun(sc, cfg, chip, inject, rvRec); e != nil {
+	if _, _, _, e := rvRun(sc, cfg, chip, inject, rvRec, nil); e != nil {
 		rvErr = fmt.Errorf("faultinject: recording rv32-%s: %w", chip.Name, e)
 	}
 	if armErr != nil || rvErr != nil {
@@ -147,12 +158,12 @@ func classifyPort(port string, base, inj runSignature, applied bool, violations 
 
 // --- ARM port driver ---
 
-func runARMScenario(sc Scenario, cfg Config) PortResult {
+func runARMScenario(sc Scenario, cfg Config, tr *trace.Tracer) PortResult {
 	port := "arm-ticktock"
 	if sc.Monolithic {
 		port = "arm-tock"
 	}
-	base, _, _, err := armRun(sc, cfg, false, nil)
+	base, _, _, err := armRun(sc, cfg, false, nil, nil)
 	if err != nil {
 		return PortResult{Port: port, Err: err.Error()}
 	}
@@ -160,7 +171,7 @@ func runARMScenario(sc Scenario, cfg Config) PortResult {
 	if cfg.Record {
 		rec = flightrec.NewRecorder(port)
 	}
-	inj, violations, applied, err := armRun(sc, cfg, true, rec)
+	inj, violations, applied, err := armRun(sc, cfg, true, rec, tr)
 	if err != nil {
 		return PortResult{Port: port, Err: err.Error()}
 	}
@@ -177,7 +188,7 @@ func runARMScenario(sc Scenario, cfg Config) PortResult {
 // nth event; boundary injections fire at the scenario's scheduling
 // quantum. It returns the run signature, the isolation sweep's findings
 // (injected runs only) and whether the injection actually fired.
-func armRun(sc Scenario, cfg Config, inject bool, rec *flightrec.Recorder) (runSignature, []string, bool, error) {
+func armRun(sc Scenario, cfg Config, inject bool, rec *flightrec.Recorder, tr *trace.Tracer) (runSignature, []string, bool, error) {
 	tc, ok := armCases()[sc.App]
 	if !ok {
 		return runSignature{}, nil, false, fmt.Errorf("faultinject: no ARM case %q", sc.App)
@@ -198,6 +209,7 @@ func armRun(sc Scenario, cfg Config, inject bool, rec *flightrec.Recorder) (runS
 		BackoffBase: cfg.BackoffBase,
 		FlightRec:   rec,
 		FastCore:    cfg.FastCore,
+		Trace:       tr,
 	}
 	applied := false
 	var machine *armv7m.Machine
@@ -399,10 +411,10 @@ func armIsolation(k *kernel.Kernel, granular bool) []string {
 
 // --- RISC-V port driver ---
 
-func runRVScenario(sc Scenario, cfg Config) PortResult {
+func runRVScenario(sc Scenario, cfg Config, tr *trace.Tracer) PortResult {
 	chip := riscv.Chips[sc.Chip%len(riscv.Chips)]
 	port := "rv32-" + chip.Name
-	base, _, _, err := rvRun(sc, cfg, chip, false, nil)
+	base, _, _, err := rvRun(sc, cfg, chip, false, nil, nil)
 	if err != nil {
 		return PortResult{Port: port, Err: err.Error()}
 	}
@@ -410,7 +422,7 @@ func runRVScenario(sc Scenario, cfg Config) PortResult {
 	if cfg.Record {
 		rec = flightrec.NewRecorder(port)
 	}
-	inj, violations, applied, err := rvRun(sc, cfg, chip, true, rec)
+	inj, violations, applied, err := rvRun(sc, cfg, chip, true, rec, tr)
 	if err != nil {
 		return PortResult{Port: port, Err: err.Error()}
 	}
@@ -422,7 +434,7 @@ func runRVScenario(sc Scenario, cfg Config) PortResult {
 }
 
 // rvRun is the RISC-V twin of armRun.
-func rvRun(sc Scenario, cfg Config, chip riscv.ChipConfig, inject bool, rec *flightrec.Recorder) (runSignature, []string, bool, error) {
+func rvRun(sc Scenario, cfg Config, chip riscv.ChipConfig, inject bool, rec *flightrec.Recorder, tr *trace.Tracer) (runSignature, []string, bool, error) {
 	app, ok := rvApps()[sc.App]
 	if !ok {
 		return runSignature{}, nil, false, fmt.Errorf("faultinject: no RISC-V app %q", sc.App)
@@ -431,6 +443,7 @@ func rvRun(sc Scenario, cfg Config, chip riscv.ChipConfig, inject bool, rec *fli
 	if err != nil {
 		return runSignature{}, nil, false, err
 	}
+	k.Trace = tr
 	k.AttachFlightRec(rec)
 	k.SetFastCore(cfg.FastCore)
 	k.FaultPolicy = rvkernel.PolicyRestart

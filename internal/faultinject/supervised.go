@@ -1,13 +1,11 @@
 package faultinject
 
 import (
-	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
 
 	"ticktock/internal/campaign"
 )
@@ -96,46 +94,7 @@ func ParseChaos(spec string) (map[int]string, error) {
 // Units splits the campaign into supervised units — one scenario per
 // unit, journal-codec'd as JSON — for campaign.Supervise.
 func Units(cfg Config) (campaign.Source[Result], error) {
-	cfg = cfg.withDefaults()
-	chaos, err := ParseChaos(cfg.Chaos)
-	if err != nil {
-		return campaign.Source[Result]{}, err
-	}
-	scenarios := GenScenarios(cfg)
-	var mu sync.Mutex
-	flakyFired := map[int]bool{}
-	return campaign.Source[Result]{
-		N:           len(scenarios),
-		Kind:        SupervisedKind,
-		Fingerprint: cfg.Fingerprint(),
-		Key:         func(i int) string { return scenarios[i].Label() },
-		Run: func(ctx context.Context, i int) (Result, error) {
-			switch chaos[i] {
-			case ChaosWedge:
-				// Hold the unit until the supervisor cancels it; the
-				// attempt is then classified as a timeout.
-				<-ctx.Done()
-				return Result{}, fmt.Errorf("chaos: scenario %d wedged until cancellation: %w", i, ctx.Err())
-			case ChaosPanic:
-				panic(fmt.Sprintf("chaos: scenario %d panicked", i))
-			case ChaosFlaky:
-				mu.Lock()
-				fired := flakyFired[i]
-				flakyFired[i] = true
-				mu.Unlock()
-				if !fired {
-					return Result{}, fmt.Errorf("chaos: scenario %d transient failure", i)
-				}
-			}
-			return RunScenario(scenarios[i], cfg), nil
-		},
-		Encode: func(r Result) ([]byte, error) { return json.Marshal(r) },
-		Decode: func(b []byte) (Result, error) {
-			var r Result
-			err := json.Unmarshal(b, &r)
-			return r, err
-		},
-	}, nil
+	return UnitsTelemetry(cfg, nil)
 }
 
 // RunSupervised executes the campaign under the crash-resilient
@@ -145,19 +104,7 @@ func Units(cfg Config) (campaign.Source[Result], error) {
 // invocation-local stats (steals, resume count) live in run.Stats and
 // go to metrics, never into the report.
 func RunSupervised(cfg Config, sup campaign.Config) (*Report, *campaign.Run[Result], error) {
-	cfg = cfg.withDefaults()
-	src, err := Units(cfg)
-	if err != nil {
-		return nil, nil, err
-	}
-	if sup.Workers == 0 {
-		sup.Workers = cfg.Workers
-	}
-	run, err := campaign.Supervise(sup, src)
-	if err != nil {
-		return nil, run, err
-	}
-	return ReportFromRun(cfg, run), run, nil
+	return RunSupervisedTelemetry(cfg, sup, nil)
 }
 
 // ReportFromRun folds supervised outcomes into the campaign report.

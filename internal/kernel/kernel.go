@@ -395,6 +395,18 @@ func (k *Kernel) PublishMetrics() {
 		return
 	}
 	k.Stats.Publish(k.Metrics, k.flavourName)
+	k.PublishCoreStats()
+}
+
+// PublishCoreStats books the block-cache fast-core counters
+// (blockcache_*_total, flavour-labelled) into the attached registry.
+// No-op without metrics or with the fast core disabled; call once per
+// completed run — the fast core's hot path never sees the registry.
+func (k *Kernel) PublishCoreStats() {
+	if k.Metrics == nil {
+		return
+	}
+	k.Board.Machine.FastStats().Publish(k.Metrics, metrics.L("flavour", k.flavourName))
 }
 
 // newMM builds the flavour-appropriate memory manager.

@@ -1,0 +1,93 @@
+package metrics
+
+// Streaming delta aggregation: the live-telemetry plane merges
+// per-worker registries into one fleet-wide aggregate at checkpoint
+// cadence. Because worker registries are cumulative, repeatedly calling
+// Registry.Merge would double-count; instead the plane keeps the last
+// snapshot it merged per worker and folds only the *delta* since then.
+// Counter and gauge deltas are plain adds, and histogram deltas add
+// bucket-wise, so the merged aggregate is independent of merge order
+// and checkpoint cadence: after the final flush the live registry holds
+// exactly the values a single post-hoc Merge of every worker registry
+// would have produced.
+
+// Delta returns the per-series difference cur − prev. Series absent
+// from prev contribute their full value — including zero-valued ones,
+// so a series *created* since prev survives into the delta and the
+// streaming aggregate grows exactly the series a post-hoc Merge would
+// have (creating a counter at zero is an observable act: it declares
+// the series exists). Series already in prev whose value did not move
+// are dropped, so merging a delta is proportional to what actually
+// changed. prev must be an earlier snapshot of the same (monotone)
+// registry — counter and histogram values never decrease, which is what
+// makes the subtraction meaningful.
+//
+// Histogram delta points carry cur's running Min/Max (the full-history
+// extremes, which are monotone) rather than a per-window extreme;
+// AddSnapshot folds extremes only for non-empty deltas, so the final
+// aggregate extremes still equal the true fleet-wide extremes.
+func (cur Snapshot) Delta(prev Snapshot) Snapshot {
+	var out Snapshot
+
+	prevCounters := make(map[string]uint64, len(prev.Counters))
+	for _, cp := range prev.Counters {
+		prevCounters[cp.ID] = cp.Value
+	}
+	for _, cp := range cur.Counters {
+		pv, seen := prevCounters[cp.ID]
+		if d := cp.Value - pv; d != 0 || !seen {
+			cp.Value = d
+			out.Counters = append(out.Counters, cp)
+		}
+	}
+
+	prevGauges := make(map[string]int64, len(prev.Gauges))
+	for _, gp := range prev.Gauges {
+		prevGauges[gp.ID] = gp.Value
+	}
+	for _, gp := range cur.Gauges {
+		pv, seen := prevGauges[gp.ID]
+		if d := gp.Value - pv; d != 0 || !seen {
+			gp.Value = d
+			out.Gauges = append(out.Gauges, gp)
+		}
+	}
+
+	prevHists := make(map[string]HistogramPoint, len(prev.Histograms))
+	for _, hp := range prev.Histograms {
+		prevHists[hp.ID] = hp
+	}
+	for _, hp := range cur.Histograms {
+		pp, seen := prevHists[hp.ID]
+		if hp.Count == pp.Count && seen {
+			continue
+		}
+		d := hp
+		d.Count = hp.Count - pp.Count
+		d.Sum = hp.Sum - pp.Sum
+		for i := 0; i < NumBuckets; i++ {
+			d.Buckets[i] = hp.Buckets[i] - pp.Buckets[i]
+		}
+		out.Histograms = append(out.Histograms, d)
+	}
+	return out
+}
+
+// AddSnapshot folds a snapshot's values into the registry: counters and
+// gauges add, histograms merge bucket-wise (skipping empty points).
+// With delta snapshots this is the streaming-merge primitive; with full
+// snapshots it is equivalent to Merge. Nil-safe.
+func (r *Registry) AddSnapshot(s Snapshot) {
+	if r == nil {
+		return
+	}
+	for _, cp := range s.Counters {
+		r.Counter(cp.Name, cp.Labels...).Add(cp.Value)
+	}
+	for _, gp := range s.Gauges {
+		r.Gauge(gp.Name, gp.Labels...).Add(gp.Value)
+	}
+	for _, hp := range s.Histograms {
+		r.Histogram(hp.Name, hp.Labels...).mergePoint(hp)
+	}
+}

@@ -1,0 +1,200 @@
+package metrics
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fillRandom records a deterministic pseudo-random workload into a
+// registry: counters, gauges and histograms across several label sets.
+func fillRandom(r *Registry, rng *rand.Rand, rounds int) {
+	ports := []string{"arm", "rv32"}
+	for i := 0; i < rounds; i++ {
+		p := ports[rng.Intn(len(ports))]
+		r.Counter("units_total", L("port", p)).Add(uint64(rng.Intn(5)))
+		r.Gauge("inflight", L("port", p)).Add(int64(rng.Intn(7)) - 3)
+		r.Histogram("unit_cycles", L("port", p)).Observe(uint64(rng.Intn(1 << 20)))
+	}
+}
+
+func snapshotsEqual(t *testing.T, a, b Snapshot) {
+	t.Helper()
+	var wa, wb strings.Builder
+	ra, rb := NewRegistry(), NewRegistry()
+	ra.AddSnapshot(a)
+	rb.AddSnapshot(b)
+	if err := ra.ExportPrometheus(&wa); err != nil {
+		t.Fatal(err)
+	}
+	if err := rb.ExportPrometheus(&wb); err != nil {
+		t.Fatal(err)
+	}
+	if wa.String() != wb.String() {
+		t.Fatalf("snapshots differ:\n--- a ---\n%s--- b ---\n%s", wa.String(), wb.String())
+	}
+}
+
+// Streaming delta-merge must reconstruct exactly the values a single
+// post-hoc Merge would produce, regardless of how many intermediate
+// checkpoints were taken or in which order workers were folded.
+func TestDeltaStreamingEqualsPostHocMerge(t *testing.T) {
+	const workers = 5
+	rng := rand.New(rand.NewSource(42))
+
+	workerRegs := make([]*Registry, workers)
+	bases := make([]Snapshot, workers)
+	for w := range workerRegs {
+		workerRegs[w] = NewRegistry()
+	}
+
+	live := NewRegistry()
+	// Interleave recording and checkpoint-cadence delta merges, folding
+	// workers in a rotating order.
+	for round := 0; round < 12; round++ {
+		for w := 0; w < workers; w++ {
+			fillRandom(workerRegs[w], rng, 3)
+		}
+		for i := 0; i < workers; i++ {
+			w := (i + round) % workers
+			cur := workerRegs[w].Snapshot()
+			live.AddSnapshot(cur.Delta(bases[w]))
+			bases[w] = cur
+		}
+	}
+	// Final flush after a last burst of recording.
+	for w := 0; w < workers; w++ {
+		fillRandom(workerRegs[w], rng, 2)
+		cur := workerRegs[w].Snapshot()
+		live.AddSnapshot(cur.Delta(bases[w]))
+		bases[w] = cur
+	}
+
+	posthoc := NewRegistry()
+	for _, wr := range workerRegs {
+		posthoc.Merge(wr)
+	}
+	snapshotsEqual(t, live.Snapshot(), posthoc.Snapshot())
+
+	// Extremes must be the true fleet-wide extremes, not per-window ones.
+	ls := live.Snapshot()
+	ps := posthoc.Snapshot()
+	for i := range ls.Histograms {
+		if ls.Histograms[i].Min != ps.Histograms[i].Min || ls.Histograms[i].Max != ps.Histograms[i].Max {
+			t.Fatalf("extremes diverge for %s: live min/max %d/%d, post-hoc %d/%d",
+				ls.Histograms[i].ID, ls.Histograms[i].Min, ls.Histograms[i].Max,
+				ps.Histograms[i].Min, ps.Histograms[i].Max)
+		}
+	}
+}
+
+// A delta against an identical snapshot is empty, and a delta against
+// the zero snapshot is the full snapshot.
+func TestDeltaIdentities(t *testing.T) {
+	r := NewRegistry()
+	rng := rand.New(rand.NewSource(7))
+	fillRandom(r, rng, 10)
+	s := r.Snapshot()
+
+	empty := s.Delta(s)
+	if len(empty.Counters)+len(empty.Gauges)+len(empty.Histograms) != 0 {
+		t.Fatalf("self-delta not empty: %+v", empty)
+	}
+
+	full := s.Delta(Snapshot{})
+	snapshotsEqual(t, s, full)
+}
+
+// Gauge deltas are signed: a gauge that went down must subtract.
+func TestDeltaSignedGauges(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("inflight")
+	g.Add(10)
+	prev := r.Snapshot()
+	g.Add(-4)
+	d := r.Snapshot().Delta(prev)
+	if len(d.Gauges) != 1 || d.Gauges[0].Value != -4 {
+		t.Fatalf("want gauge delta -4, got %+v", d.Gauges)
+	}
+	live := NewRegistry()
+	live.AddSnapshot(prev)
+	live.AddSnapshot(d)
+	if v := live.Gauge("inflight").Value(); v != 6 {
+		t.Fatalf("want reconstructed gauge 6, got %d", v)
+	}
+}
+
+// Snapshot must be safe to call while other goroutines Add/Observe/
+// Publish into the same registry (run under -race).
+func TestSnapshotUnderConcurrentPublish(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := r.Counter("spin_total", L("g", string(rune('a'+g))))
+			h := r.Histogram("spin_cycles")
+			gauge := r.Gauge("spin_gauge")
+			for i := uint64(0); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Add(1)
+				h.Observe(i % 4096)
+				gauge.Add(1)
+				// Exercise get-or-create concurrently with Snapshot too.
+				r.Counter("late_total", L("i", string(rune('a'+int(i%8))))).Inc()
+			}
+		}(g)
+	}
+	var prev Snapshot
+	for i := 0; i < 50; i++ {
+		cur := r.Snapshot()
+		// Counters are monotone: each snapshot must dominate the last.
+		d := cur.Delta(prev)
+		for _, cp := range d.Counters {
+			if cp.Value > 1<<40 {
+				t.Errorf("counter %s delta wrapped: %d", cp.ID, cp.Value)
+			}
+		}
+		prev = cur
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	// Empty histogram: every quantile is 0.
+	h := NewHistogram()
+	for _, q := range []float64{0, 0.5, 1} {
+		if v := h.Quantile(q); v != 0 {
+			t.Fatalf("empty histogram Quantile(%v) = %d, want 0", q, v)
+		}
+	}
+
+	// Single sample: all quantiles land in its bucket.
+	h = NewHistogram()
+	h.Observe(100)
+	want := BucketUpperBound(BucketOf(100))
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		if v := h.Quantile(q); v != want {
+			t.Fatalf("single-sample Quantile(%v) = %d, want %d", q, v, want)
+		}
+	}
+
+	// Two buckets: q=0 hits the low bucket, q=1 the high one.
+	h = NewHistogram()
+	h.Observe(1)
+	h.Observe(1 << 30)
+	if lo, hi := h.Quantile(0), h.Quantile(1); lo >= hi {
+		t.Fatalf("Quantile(0)=%d should be below Quantile(1)=%d", lo, hi)
+	}
+	if v := h.Quantile(1); v != BucketUpperBound(BucketOf(1<<30)) {
+		t.Fatalf("Quantile(1) = %d, want top sample bucket bound %d", v, BucketUpperBound(BucketOf(1<<30)))
+	}
+}

@@ -9,11 +9,27 @@ import (
 	"strings"
 )
 
+// ContentType is the HTTP Content-Type for the Prometheus text
+// exposition format ExportPrometheus emits; scrape endpoints must send
+// it so scrapers negotiate version 0.0.4.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// escapeHelp applies the exposition-format escapes for `# HELP` text:
+// backslash and newline (double quotes are legal in help text).
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
 // ExportPrometheus writes the registry in the Prometheus text exposition
-// format (version 0.0.4): one `# TYPE` line per metric family, series
-// sorted by ID, histograms as cumulative `_bucket{le=...}` series plus
-// `_sum` and `_count`. Output is deterministic for a given registry
-// state. Nil-safe: a nil registry writes nothing.
+// format (version 0.0.4): an optional `# HELP` line (see SetHelp) and
+// one `# TYPE` line per metric family, series sorted by ID, histograms
+// as cumulative `_bucket{le=...}` series plus `_sum` and `_count`.
+// Output is deterministic for a given registry state. Nil-safe: a nil
+// registry writes nothing.
 func (r *Registry) ExportPrometheus(w io.Writer) error {
 	snap := r.Snapshot()
 
@@ -64,6 +80,11 @@ func (r *Registry) ExportPrometheus(w io.Writer) error {
 	sort.Strings(order)
 	for _, name := range order {
 		f := byName[name]
+		if help := r.Help(f.name); help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(help)); err != nil {
+				return err
+			}
+		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
 			return err
 		}
@@ -100,10 +121,10 @@ func ParsePrometheus(r io.Reader) (map[string]float64, error) {
 			continue
 		}
 		// The value is the field after the series ID; the ID may contain
-		// spaces only inside quoted label values, so scan for the closing
-		// brace first.
+		// spaces — and closing braces — inside quoted label values, so
+		// scan for the closing brace respecting quotes and escapes.
 		var id, val string
-		if i := strings.Index(text, "}"); i >= 0 {
+		if i := closingBrace(text); i >= 0 {
 			id = text[:i+1]
 			val = strings.TrimSpace(text[i+1:])
 		} else {
@@ -126,6 +147,32 @@ func ParsePrometheus(r io.Reader) (map[string]float64, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// closingBrace returns the index of the `}` closing a series label set,
+// skipping braces inside quoted label values (where `\"` escapes a
+// quote), or -1 if the line has no label set.
+func closingBrace(text string) int {
+	inQuote := false
+	for i := 0; i < len(text); i++ {
+		switch text[i] {
+		case '\\':
+			if inQuote {
+				i++ // skip escaped char
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i
+			}
+		case ' ':
+			if !inQuote && !strings.ContainsRune(text[:i], '{') {
+				return -1 // unlabelled series; value field reached
+			}
+		}
+	}
+	return -1
 }
 
 // ExportTable writes the registry as an aligned human-readable table:

@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestContentTypeIsStandard(t *testing.T) {
+	if !strings.Contains(ContentType, "text/plain") || !strings.Contains(ContentType, "version=0.0.4") {
+		t.Fatalf("ContentType %q is not the 0.0.4 exposition content type", ContentType)
+	}
+}
+
+// HELP lines are emitted before TYPE lines with backslash and newline
+// escaped per the exposition format.
+func TestHelpLinesAreEmittedAndEscaped(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("widgets_total").Add(3)
+	r.SetHelp("widgets_total", "count of\nwidgets \\ made")
+
+	var b strings.Builder
+	if err := r.ExportPrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	wantHelp := `# HELP widgets_total count of\nwidgets \\ made`
+	if !strings.Contains(out, wantHelp+"\n") {
+		t.Fatalf("missing escaped HELP line %q in:\n%s", wantHelp, out)
+	}
+	helpAt := strings.Index(out, "# HELP widgets_total")
+	typeAt := strings.Index(out, "# TYPE widgets_total")
+	if helpAt < 0 || typeAt < 0 || helpAt > typeAt {
+		t.Fatalf("HELP must precede TYPE:\n%s", out)
+	}
+
+	// The parser must still round-trip an export that carries HELP lines.
+	vals, err := ParsePrometheus(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals["widgets_total"] != 3 {
+		t.Fatalf("round-trip lost widgets_total: %v", vals)
+	}
+}
+
+// Label values containing `}`, `"`, spaces and backslashes must survive
+// an export → parse round trip: the escaped closing brace inside the
+// quoted value must not terminate the series ID early.
+func TestRoundTripHostileLabelValues(t *testing.T) {
+	hostile := []string{
+		`close}brace`,
+		`quote"and}brace`,
+		`spaces and } braces`,
+		`back\slash`,
+		"new\nline",
+	}
+	r := NewRegistry()
+	for i, v := range hostile {
+		r.Counter("hostile_total", L("v", v)).Add(uint64(i + 1))
+	}
+	var b strings.Builder
+	if err := r.ExportPrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := ParsePrometheus(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("parse of hostile export failed: %v\n%s", err, b.String())
+	}
+	for i, v := range hostile {
+		id := seriesID("hostile_total", []Label{L("v", v)})
+		if vals[id] != float64(i+1) {
+			t.Fatalf("series %q: got %v, want %d\nexport:\n%s", id, vals[id], i+1, b.String())
+		}
+	}
+	if len(vals) != len(hostile) {
+		t.Fatalf("want %d series, parsed %d: %v", len(hostile), len(vals), vals)
+	}
+}

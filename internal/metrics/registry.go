@@ -91,6 +91,7 @@ type Registry struct {
 	counters map[string]*counterEntry
 	gauges   map[string]*gaugeEntry
 	hists    map[string]*histEntry
+	help     map[string]string
 }
 
 // NewRegistry returns an empty registry.
@@ -99,7 +100,30 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*counterEntry),
 		gauges:   make(map[string]*gaugeEntry),
 		hists:    make(map[string]*histEntry),
+		help:     make(map[string]string),
 	}
+}
+
+// SetHelp records help text for a metric family, emitted as a `# HELP`
+// line by ExportPrometheus (with exposition-format escaping). Nil-safe.
+func (r *Registry) SetHelp(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.help[name] = help
+	r.mu.Unlock()
+}
+
+// Help returns the help text registered for a metric family ("" if
+// none). Nil-safe.
+func (r *Registry) Help(name string) string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.help[name]
 }
 
 // Counter returns the counter registered under name+labels, creating it

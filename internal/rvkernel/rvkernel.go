@@ -421,6 +421,17 @@ func New(chip riscv.ChipConfig) (*Kernel, error) {
 // (rv32.Machine.SetFastCore); observable behaviour is unchanged.
 func (k *Kernel) SetFastCore(on bool) { k.Machine.SetFastCore(on) }
 
+// PublishCoreStats books the block-cache fast-core counters
+// (blockcache_*_total, flavour-labelled) into the attached registry.
+// No-op without metrics or with the fast core disabled; call once per
+// completed run — the fast core's hot path never sees the registry.
+func (k *Kernel) PublishCoreStats() {
+	if k.Metrics == nil {
+		return
+	}
+	k.Machine.FastStats().Publish(k.Metrics, metrics.L("flavour", k.flavourName))
+}
+
 // Output returns a process's console output.
 func (k *Kernel) Output(p *Process) string { return string(k.output[p.ID]) }
 

@@ -1,0 +1,326 @@
+package telemetry
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ticktock/internal/campaign"
+	"ticktock/internal/metrics"
+	"ticktock/internal/trace"
+)
+
+var _ campaign.Observer = (*Plane)(nil)
+
+// fakeNow installs a deterministic clock advancing stepUS per call.
+func fakeNow(p *Plane, stepUS int64) *atomic.Int64 {
+	var calls atomic.Int64
+	base := time.Unix(1000, 0)
+	p.now = func() time.Time {
+		n := calls.Add(1)
+		return base.Add(time.Duration(n*stepUS) * time.Microsecond)
+	}
+	return &calls
+}
+
+// A nil plane must be a fully disabled observer.
+func TestNilPlaneNoOps(t *testing.T) {
+	var p *Plane
+	p.CampaignStart("x", 1, 1, 0)
+	p.UnitStart(0, 0, false)
+	p.AttemptStart(0, 0, 0)
+	p.AttemptEnd(0, 0, 0, "")
+	p.UnitBackoff(0, 0, 0, time.Second)
+	p.UnitDone(0, 0, campaign.StatusOK, nil)
+	p.Checkpoint(1)
+	p.CampaignEnd(campaign.Stats{}, false)
+	p.UnitObservation(0, func(*metrics.Registry) {})
+	if p.UnitTracer(0) != nil {
+		t.Fatal("nil plane returned a tracer")
+	}
+	if p.Live() != nil {
+		t.Fatal("nil plane returned a registry")
+	}
+	if pr := p.Progress(); pr.Units != 0 {
+		t.Fatal("nil plane returned progress")
+	}
+	if tl := p.Timeline(); len(tl.Spans) != 0 {
+		t.Fatal("nil plane returned spans")
+	}
+}
+
+// Driving the observer by hand with a fake clock must produce attempt
+// spans on the right tracks, steal/backoff/quarantine instants, and a
+// closed campaign span.
+func TestPlaneSpansAndProgress(t *testing.T) {
+	p := New()
+	fakeNow(p, 1000) // 1ms per observation
+
+	p.CampaignStart("faultcamp", 4, 2, 1)
+	p.UnitStart(0, 0, false)
+	p.AttemptStart(0, 0, 0)
+	p.AttemptEnd(0, 0, 0, "")
+	p.UnitDone(0, 0, campaign.StatusOK, nil)
+
+	p.UnitStart(1, 1, true) // stolen
+	p.AttemptStart(1, 1, 0)
+	p.AttemptEnd(1, 1, 0, campaign.FailTimeout)
+	p.UnitBackoff(1, 1, 0, 10*time.Millisecond)
+	p.AttemptStart(1, 1, 1)
+	p.AttemptEnd(1, 1, 1, campaign.FailCrashed)
+	p.UnitDone(1, 1, campaign.StatusQuarantined, []campaign.Attempt{
+		{Failure: campaign.FailTimeout}, {Failure: campaign.FailCrashed},
+	})
+
+	pr := p.Progress()
+	if !pr.Running || pr.Done != 3 || pr.OK != 1 || pr.Quarantined != 1 ||
+		pr.Retries != 1 || pr.Timeouts != 1 || pr.Crashes != 1 || pr.Steals != 1 {
+		t.Fatalf("progress wrong: %+v", pr)
+	}
+	if pr.Resumed != 1 || pr.Units != 4 || pr.Workers != 2 {
+		t.Fatalf("identity wrong: %+v", pr)
+	}
+	if pr.ETAMS < 0 {
+		t.Fatalf("ETA should be estimable after completions: %+v", pr)
+	}
+	if got := len(pr.PerWorker); got != 2 {
+		t.Fatalf("want 2 worker states, got %d", got)
+	}
+
+	p.CampaignEnd(campaign.Stats{}, false)
+	pr = p.Progress()
+	if pr.Running || pr.ETAMS != 0 {
+		t.Fatalf("post-end progress wrong: %+v", pr)
+	}
+
+	tl := p.Timeline()
+	if tl.Tracks[0] != "campaign" || tl.Tracks[1] != "worker 0" || tl.Tracks[2] != "worker 1" {
+		t.Fatalf("tracks wrong: %v", tl.Tracks)
+	}
+	var attempts, campaigns int
+	for _, sp := range tl.Spans {
+		switch sp.Cat {
+		case "attempt":
+			attempts++
+			if sp.TID == 0 {
+				t.Fatalf("attempt span on campaign track: %+v", sp)
+			}
+		case "campaign":
+			campaigns++
+		}
+	}
+	if attempts != 3 || campaigns != 1 {
+		t.Fatalf("want 3 attempt spans and 1 campaign span, got %d/%d", attempts, campaigns)
+	}
+	names := map[string]int{}
+	for _, in := range tl.Instants {
+		names[in.Name]++
+	}
+	if names["steal"] != 1 || names["backoff"] != 1 || names["quarantine"] != 1 {
+		t.Fatalf("instants wrong: %v", names)
+	}
+}
+
+// UnitTracer events must surface nested inside the unit's final attempt
+// span in the exported timeline.
+func TestPlaneTimelineNestsUnitTrace(t *testing.T) {
+	p := New()
+	fakeNow(p, 1000)
+	p.CampaignStart("faultcamp", 1, 1, 0)
+	p.UnitStart(0, 0, false)
+	p.AttemptStart(0, 0, 0)
+	tr := p.UnitTracer(0)
+	if tr == nil {
+		t.Fatal("no tracer from fresh plane")
+	}
+	tr.Emit(trace.Event{Cycle: 10, Kind: trace.KindSyscallEnter, Proc: 1, Name: "app", Label: "command"})
+	tr.Emit(trace.Event{Cycle: 90, Kind: trace.KindSyscallExit, Proc: 1, Name: "app", Label: "command"})
+	p.AttemptEnd(0, 0, 0, "")
+	p.UnitDone(0, 0, campaign.StatusOK, nil)
+	p.CampaignEnd(campaign.Stats{}, false)
+
+	var b strings.Builder
+	if err := trace.ExportFleetChromeJSON(&b, p.Timeline()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"kernel:syscall-enter"`) || !strings.Contains(out, `"kernel:syscall-exit"`) {
+		t.Fatalf("kernel events not nested in timeline:\n%s", out)
+	}
+
+	// The nesting budget is finite: after DefaultNestCapacity units
+	// retain kernel rings, further units get no tracer. Unit 0 above
+	// already consumed one slot.
+	for i := 1; i < DefaultNestCapacity; i++ {
+		p.UnitStart(i, 0, false)
+		p.AttemptStart(i, 0, 0)
+		utr := p.UnitTracer(i)
+		if utr == nil {
+			t.Fatalf("budget exhausted early at unit %d", i)
+		}
+		utr.Emit(trace.Event{Cycle: 1, Kind: trace.KindFault})
+		p.AttemptEnd(i, 0, 0, "")
+		p.UnitDone(i, 0, campaign.StatusOK, nil)
+	}
+	over := DefaultNestCapacity
+	p.UnitStart(over, 0, false)
+	p.AttemptStart(over, 0, 0)
+	if p.UnitTracer(over) != nil {
+		t.Fatal("nest budget did not exhaust")
+	}
+	// Tracers for units that are not open must not resurrect entries.
+	if p.UnitTracer(12345) != nil {
+		t.Fatal("closed unit got a tracer")
+	}
+}
+
+// An observation registered by an attempt that later times out must not
+// publish; only the terminal OK attempt's observation runs, once.
+func TestUnitObservationPublishesOnTerminalOnly(t *testing.T) {
+	p := New()
+	p.CampaignStart("x", 2, 1, 0)
+
+	p.UnitStart(0, 0, false)
+	p.AttemptStart(0, 0, 0)
+	p.UnitObservation(0, func(r *metrics.Registry) { r.Counter("stale_total").Inc() })
+	p.AttemptEnd(0, 0, 0, campaign.FailTimeout)
+	p.AttemptStart(0, 0, 1)
+	p.UnitObservation(0, func(r *metrics.Registry) { r.Counter("fresh_total").Inc() })
+	p.AttemptEnd(0, 0, 1, "")
+	p.UnitDone(0, 0, campaign.StatusOK, []campaign.Attempt{{Failure: campaign.FailTimeout}})
+
+	// A quarantined unit publishes nothing.
+	p.UnitStart(1, 0, false)
+	p.AttemptStart(1, 0, 0)
+	p.UnitObservation(1, func(r *metrics.Registry) { r.Counter("poison_total").Inc() })
+	p.AttemptEnd(1, 0, 0, campaign.FailError)
+	p.UnitDone(1, 0, campaign.StatusQuarantined, []campaign.Attempt{{Failure: campaign.FailError}})
+
+	p.CampaignEnd(campaign.Stats{}, false)
+	snap := p.Live().Snapshot()
+	vals := map[string]uint64{}
+	for _, cp := range snap.Counters {
+		vals[cp.ID] = cp.Value
+	}
+	if vals["fresh_total"] != 1 || vals["stale_total"] != 0 || vals["poison_total"] != 0 {
+		t.Fatalf("observation discipline broken: %v", vals)
+	}
+}
+
+// End-to-end through a real supervised campaign: the streaming
+// aggregate must be identical at any worker count, and equal to what a
+// post-hoc merge would produce.
+func TestStreamingAggregateWorkerCountInvariant(t *testing.T) {
+	const n = 40
+	runCampaign := func(workers int) string {
+		p := New()
+		attempts := make([]atomic.Int32, n)
+		src := campaign.Source[int]{
+			N:    n,
+			Kind: "agg-test",
+			Run: func(ctx context.Context, i int) (int, error) {
+				p.UnitObservation(i, func(r *metrics.Registry) {
+					r.Counter("units_run_total").Inc()
+					r.Counter("weight_total").Add(uint64(i))
+					r.Histogram("unit_weight").Observe(uint64(i * 3))
+				})
+				// Every 7th unit fails its first attempt, exercising the
+				// retry path; it succeeds on the retry, so every unit
+				// still publishes exactly once.
+				if i%7 == 3 && attempts[i].Add(1) == 1 {
+					return 0, errors.New("flaky")
+				}
+				return i, nil
+			},
+		}
+		run, err := campaign.Supervise(campaign.Config{
+			Workers: workers, Retries: 2, Observer: p,
+			CheckpointEvery: 4,
+		}, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run.Stats.Completed != n {
+			t.Fatalf("completed %d != %d", run.Stats.Completed, n)
+		}
+		var b strings.Builder
+		if err := p.Live().ExportPrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+
+	want := runCampaign(1)
+	for _, w := range []int{2, 4, 8} {
+		if got := runCampaign(w); got != want {
+			t.Fatalf("aggregate differs at %d workers:\n--- 1 worker ---\n%s--- %d workers ---\n%s", w, want, w, got)
+		}
+	}
+
+	// The single-worker aggregate must equal a direct post-hoc registry.
+	posthoc := metrics.NewRegistry()
+	for i := 0; i < n; i++ {
+		posthoc.Counter("units_run_total").Inc()
+		posthoc.Counter("weight_total").Add(uint64(i))
+		posthoc.Histogram("unit_weight").Observe(uint64(i * 3))
+	}
+	var b strings.Builder
+	if err := posthoc.ExportPrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != want {
+		t.Fatalf("streaming aggregate != post-hoc:\n--- post-hoc ---\n%s--- streaming ---\n%s", b.String(), want)
+	}
+}
+
+// The TTY renderer writes in-place lines and clears on Stop.
+func TestTTYRendersAndClears(t *testing.T) {
+	p := New()
+	p.CampaignStart("tty-test", 10, 2, 0)
+	var buf lockedBuffer
+	tty := StartTTY(&buf, p, time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for buf.Len() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	tty.Stop()
+	out := buf.String()
+	if !strings.Contains(out, "tty-test 0/10") {
+		t.Fatalf("tty output missing progress line: %q", out)
+	}
+	if !strings.HasSuffix(out, "\r") {
+		t.Fatalf("tty did not clear on stop: %q", out)
+	}
+	if StartTTY(nil, nil, 0) != nil {
+		t.Fatal("nil plane should not start a TTY")
+	}
+}
+
+// lockedBuffer is a goroutine-safe strings.Builder for watching the
+// TTY goroutine's output.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf strings.Builder
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Len()
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"ticktock/internal/metrics"
+	"ticktock/internal/trace"
+)
+
+// Server is the opt-in HTTP scrape surface over a Plane:
+//
+//	/metrics  — the live streaming-aggregated registry, Prometheus text
+//	/progress — the Progress JSON snapshot
+//	/healthz  — liveness ("ok")
+//	/timeline — the fleet Chrome trace so far
+//
+// Endpoints are read-only snapshots and safe to poll while the
+// campaign runs.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (e.g. "127.0.0.1:0") and serves the plane's scrape
+// endpoints until Close.
+func Serve(addr string, p *Plane) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", metrics.ContentType)
+		_ = p.Live().ExportPrometheus(w)
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(p.Progress())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/timeline", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = trace.ExportFleetChromeJSON(w, p.Timeline())
+	})
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the server. Nil-safe.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"ticktock/internal/campaign"
+	"ticktock/internal/metrics"
+)
+
+func get(t *testing.T, url string) (string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+func TestServerEndpoints(t *testing.T) {
+	p := New()
+	p.CampaignStart("srv-test", 3, 2, 0)
+	p.UnitStart(0, 0, false)
+	p.AttemptStart(0, 0, 0)
+	p.UnitObservation(0, func(r *metrics.Registry) { r.Counter("served_total").Inc() })
+	p.AttemptEnd(0, 0, 0, "")
+	p.UnitDone(0, 0, campaign.StatusOK, nil)
+	p.Checkpoint(1)
+
+	srv, err := Serve("127.0.0.1:0", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	body, ct := get(t, base+"/healthz")
+	if strings.TrimSpace(body) != "ok" {
+		t.Fatalf("healthz body %q", body)
+	}
+	_ = ct
+
+	body, ct = get(t, base+"/metrics")
+	if ct != metrics.ContentType {
+		t.Fatalf("metrics content type %q, want %q", ct, metrics.ContentType)
+	}
+	if !strings.Contains(body, "served_total 1") {
+		t.Fatalf("live metric missing from scrape:\n%s", body)
+	}
+	if _, err := metrics.ParsePrometheus(strings.NewReader(body)); err != nil {
+		t.Fatalf("scrape is not parseable exposition text: %v", err)
+	}
+
+	body, ct = get(t, base+"/progress")
+	if !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("progress content type %q", ct)
+	}
+	var pr Progress
+	if err := json.Unmarshal([]byte(body), &pr); err != nil {
+		t.Fatalf("progress is not valid JSON: %v\n%s", err, body)
+	}
+	if pr.Kind != "srv-test" || pr.Done != 1 || pr.Units != 3 || !pr.Running {
+		t.Fatalf("progress wrong: %+v", pr)
+	}
+
+	body, ct = get(t, base+"/timeline")
+	if !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("timeline content type %q", ct)
+	}
+	var tl struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &tl); err != nil {
+		t.Fatalf("timeline is not valid JSON: %v", err)
+	}
+	if len(tl.TraceEvents) == 0 {
+		t.Fatal("timeline has no events")
+	}
+}

@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// TTY renders a single-line live progress display: each tick rewrites
+// the line in place with carriage returns, and Stop clears it, so the
+// renderer composes with normal report output once the campaign ends.
+type TTY struct {
+	w        io.Writer
+	p        *Plane
+	stop     chan struct{}
+	done     sync.WaitGroup
+	lastLen  int
+	stopOnce sync.Once
+}
+
+// StartTTY begins rendering the plane's progress to w every interval
+// (default 500ms). Returns nil if the plane is disabled.
+func StartTTY(w io.Writer, p *Plane, interval time.Duration) *TTY {
+	if p == nil || w == nil {
+		return nil
+	}
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	t := &TTY{w: w, p: p, stop: make(chan struct{})}
+	t.done.Add(1)
+	go func() {
+		defer t.done.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-t.stop:
+				return
+			case <-tick.C:
+				t.render()
+			}
+		}
+	}()
+	return t
+}
+
+// render rewrites the progress line in place, padding over any longer
+// previous line.
+func (t *TTY) render() {
+	line := t.p.Progress().Line()
+	pad := ""
+	if n := t.lastLen - len(line); n > 0 {
+		pad = fmt.Sprintf("%*s", n, "")
+	}
+	fmt.Fprintf(t.w, "\r%s%s", line, pad)
+	t.lastLen = len(line)
+}
+
+// Stop halts rendering and clears the line. Nil-safe.
+func (t *TTY) Stop() {
+	if t == nil {
+		return
+	}
+	t.stopOnce.Do(func() {
+		close(t.stop)
+		t.done.Wait()
+		if t.lastLen > 0 {
+			fmt.Fprintf(t.w, "\r%*s\r", t.lastLen, "")
+		}
+	})
+}

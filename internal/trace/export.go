@@ -17,6 +17,7 @@ type chromeEvent struct {
 	Cat   string            `json:"cat"`
 	Phase string            `json:"ph"`
 	TS    uint64            `json:"ts"`
+	Dur   uint64            `json:"dur,omitempty"`
 	PID   int               `json:"pid"`
 	TID   int               `json:"tid"`
 	Scope string            `json:"s,omitempty"`

@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+type fleetJSONEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat"`
+	Phase string            `json:"ph"`
+	TS    uint64            `json:"ts"`
+	Dur   uint64            `json:"dur"`
+	TID   int               `json:"tid"`
+	Args  map[string]string `json:"args"`
+}
+
+type fleetJSON struct {
+	TraceEvents []fleetJSONEvent `json:"traceEvents"`
+	Emitted     uint64           `json:"emitted"`
+	Dropped     uint64           `json:"dropped"`
+}
+
+func exportFleet(t *testing.T, tl FleetTimeline) fleetJSON {
+	t.Helper()
+	var b strings.Builder
+	if err := ExportFleetChromeJSON(&b, tl); err != nil {
+		t.Fatal(err)
+	}
+	var out fleetJSON
+	if err := json.Unmarshal([]byte(b.String()), &out); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, b.String())
+	}
+	return out
+}
+
+// Kernel events must nest strictly inside their attempt span's wall
+// window, in cycle order, on the span's track.
+func TestFleetExportNestsKernelEvents(t *testing.T) {
+	span := FleetSpan{
+		Name: "unit 3 attempt 0", Cat: "attempt", TID: 2,
+		StartUS: 1000, DurUS: 500,
+		Kernel: []Event{
+			{Cycle: 0, Kind: KindSyscallEnter, Proc: 1, Name: "app", Label: "command"},
+			{Cycle: 400, Kind: KindContextSwitch, Proc: KernelProc, A: 1},
+			{Cycle: 800, Kind: KindSyscallExit, Proc: 1, Name: "app", Label: "command"},
+		},
+	}
+	tl := FleetTimeline{
+		Tracks: map[int]string{0: "campaign", 2: "worker 1"},
+		Spans: []FleetSpan{
+			{Name: "campaign", Cat: "campaign", TID: 0, StartUS: 0, DurUS: 2000},
+			span,
+		},
+	}
+	out := exportFleet(t, tl)
+
+	var names []string
+	for _, e := range out.TraceEvents {
+		if e.Phase == "M" {
+			names = append(names, e.Args["name"])
+		}
+	}
+	if len(names) != 2 || names[0] != "campaign" || names[1] != "worker 1" {
+		t.Fatalf("track metadata wrong: %v", names)
+	}
+
+	var nested []fleetJSONEvent
+	sawSpan := false
+	for _, e := range out.TraceEvents {
+		if e.Phase == "X" && e.Name == span.Name {
+			sawSpan = true
+			if e.TS != 1000 || e.Dur != 500 || e.TID != 2 {
+				t.Fatalf("span event wrong: %+v", e)
+			}
+		}
+		if strings.HasPrefix(e.Cat, "kernel:") {
+			nested = append(nested, e)
+		}
+	}
+	if !sawSpan {
+		t.Fatal("attempt span missing from export")
+	}
+	if len(nested) != 3 {
+		t.Fatalf("want 3 nested kernel events, got %d", len(nested))
+	}
+	last := uint64(0)
+	for _, e := range nested {
+		if e.TID != span.TID {
+			t.Fatalf("kernel event on wrong track: %+v", e)
+		}
+		if e.TS < span.StartUS || e.TS >= span.StartUS+span.DurUS {
+			t.Fatalf("kernel event ts=%d outside span window [%d,%d)", e.TS, span.StartUS, span.StartUS+span.DurUS)
+		}
+		if e.TS < last {
+			t.Fatalf("kernel events out of order: %d after %d", e.TS, last)
+		}
+		last = e.TS
+	}
+	if nested[0].Phase != "B" || nested[2].Phase != "E" {
+		t.Fatalf("syscall pair phases wrong: %s/%s", nested[0].Phase, nested[2].Phase)
+	}
+}
+
+// Export must be byte-deterministic regardless of input ordering.
+func TestFleetExportDeterministic(t *testing.T) {
+	mk := func(reversed bool) string {
+		spans := []FleetSpan{
+			{Name: "a", TID: 1, StartUS: 10, DurUS: 5},
+			{Name: "b", TID: 2, StartUS: 10, DurUS: 7},
+			{Name: "c", TID: 1, StartUS: 20, DurUS: 1},
+		}
+		instants := []FleetInstant{
+			{Name: "steal", TID: 2, TS: 12},
+			{Name: "retry", TID: 1, TS: 12},
+		}
+		if reversed {
+			for i, j := 0, len(spans)-1; i < j; i, j = i+1, j-1 {
+				spans[i], spans[j] = spans[j], spans[i]
+			}
+			instants[0], instants[1] = instants[1], instants[0]
+		}
+		var b strings.Builder
+		if err := ExportFleetChromeJSON(&b, FleetTimeline{
+			Tracks: map[int]string{0: "campaign", 1: "worker 0", 2: "worker 1"},
+			Spans:  spans, Instants: instants,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if mk(false) != mk(true) {
+		t.Fatal("fleet export depends on input order")
+	}
+}
+
+// A zero-duration span must not emit kernel events outside its window,
+// and an empty timeline must still be valid JSON with track metadata.
+func TestFleetExportEdgeCases(t *testing.T) {
+	out := exportFleet(t, FleetTimeline{Tracks: map[int]string{0: "campaign"}})
+	if len(out.TraceEvents) != 1 || out.TraceEvents[0].Phase != "M" {
+		t.Fatalf("empty timeline export wrong: %+v", out.TraceEvents)
+	}
+
+	out = exportFleet(t, FleetTimeline{
+		Spans: []FleetSpan{{
+			Name: "wedged", TID: 1, StartUS: 42, DurUS: 0,
+			Kernel: []Event{{Cycle: 999, Kind: KindFault}},
+		}},
+	})
+	for _, e := range out.TraceEvents {
+		if strings.HasPrefix(e.Cat, "kernel:") && e.TS != 42 {
+			t.Fatalf("zero-duration span nested event at ts=%d, want 42", e.TS)
+		}
+	}
+}
